@@ -1,0 +1,177 @@
+"""Shared infrastructure for the per-table / per-figure benchmarks.
+
+Every benchmark file regenerates one artifact of the paper's evaluation
+section: it trains the involved models on the corresponding synthetic
+dataset, prints the same rows/series the paper reports (with the paper's
+published numbers alongside for shape comparison), and writes the report to
+``benchmarks/results/<name>.txt``.
+
+Absolute numbers are not expected to match the paper (our substrate is a
+calibrated synthetic generator, not the original datasets); the *shape* —
+who wins, rough factors, where curves peak — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.baselines import BPRMF, FM, GCMC, NGCF, DeepFM, ItemPop, PaDQ
+from repro.core import pup_full
+from repro.data import load_dataset
+from repro.data.dataset import Dataset
+from repro.eval import evaluate
+from repro.train import TrainConfig, train_model
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: standard training recipe used by all benchmarks (paper: Adam @ 1e-2,
+#: batch 1024, BPR, lr cut by 10x twice; epochs reduced for synthetic scale)
+EPOCHS = 45
+
+
+def default_config(seed: int = 0, epochs: int = EPOCHS) -> TrainConfig:
+    """The shared training recipe: lr decays 10x at 1/2 and 3/4 of the run."""
+    return TrainConfig(
+        epochs=epochs,
+        batch_size=1024,
+        learning_rate=1e-2,
+        l2_weight=1e-4,
+        lr_milestones=(epochs // 2, (3 * epochs) // 4),
+        seed=seed,
+    )
+
+
+def model_builders(seed: int = 0) -> Dict[str, Callable[[Dataset], object]]:
+    """Constructors for the Table II method column, in the paper's order."""
+
+    def rng() -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return {
+        "ItemPop": lambda d: ItemPop(d),
+        "BPR-MF": lambda d: BPRMF(d, dim=64, rng=rng()),
+        "PaDQ": lambda d: PaDQ(d, dim=64, price_weight=8.0, rng=rng()),
+        "FM": lambda d: FM(d, dim=64, rng=rng()),
+        "DeepFM": lambda d: DeepFM(d, dim=32, hidden=(64, 32), rng=rng()),
+        "GC-MC": lambda d: GCMC(d, dim=64, rng=rng()),
+        "NGCF": lambda d: NGCF(d, dim=64, rng=rng()),
+        "PUP": lambda d: pup_full(d, global_dim=56, category_dim=8, rng=rng()),
+    }
+
+
+def train_and_eval(
+    builder: Callable[[Dataset], object],
+    dataset: Dataset,
+    ks: Iterable[int] = (50, 100),
+    seed: int = 0,
+    epochs: int = EPOCHS,
+) -> Dict[str, float]:
+    """Train one model with the shared recipe and return test metrics."""
+    model = builder(dataset)
+    train_model(model, dataset, default_config(seed=seed, epochs=epochs))
+    return evaluate(model, dataset, ks=ks)
+
+
+def trained_model(
+    builder: Callable[[Dataset], object],
+    dataset: Dataset,
+    seed: int = 0,
+    epochs: int = EPOCHS,
+):
+    """Train one model and return it (for protocol-specific evaluation)."""
+    model = builder(dataset)
+    train_model(model, dataset, default_config(seed=seed, epochs=epochs))
+    return model
+
+
+def get_dataset(name: str, **kwargs) -> Dataset:
+    """Named synthetic dataset (cached across benchmark files)."""
+    dataset, __ = load_dataset(name, **kwargs)
+    return dataset
+
+
+def format_table(
+    title: str,
+    header: List[str],
+    rows: List[List[str]],
+    notes: Optional[List[str]] = None,
+) -> str:
+    """Fixed-width text table matching the paper's row layout."""
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines.append("")
+        lines.extend(notes)
+    return "\n".join(lines)
+
+
+def write_report(name: str, text: str) -> str:
+    """Print the report and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Paper-published numbers, for side-by-side shape comparison in reports.
+# ----------------------------------------------------------------------
+
+PAPER_TABLE2 = {
+    "yelp": {
+        "ItemPop": (0.0401, 0.0182, 0.0660, 0.0247),
+        "BPR-MF": (0.1621, 0.0767, 0.2538, 0.1000),
+        "PaDQ": (0.1241, 0.0572, 0.2000, 0.0767),
+        "FM": (0.1635, 0.0771, 0.2538, 0.1001),
+        "DeepFM": (0.1644, 0.0769, 0.2545, 0.0998),
+        "GC-MC": (0.1670, 0.0770, 0.2621, 0.1011),
+        "NGCF": (0.1679, 0.0769, 0.2619, 0.1008),
+        "PUP": (0.1765, 0.0816, 0.2715, 0.1058),
+    },
+    "beibei": {
+        "ItemPop": (0.0087, 0.0027, 0.0175, 0.0046),
+        "BPR-MF": (0.0256, 0.0103, 0.0379, 0.0129),
+        "PaDQ": (0.0131, 0.0056, 0.0186, 0.0068),
+        "FM": (0.0259, 0.0104, 0.0384, 0.0130),
+        "DeepFM": (0.0255, 0.0090, 0.0400, 0.0122),
+        "GC-MC": (0.0231, 0.0100, 0.0343, 0.0124),
+        "NGCF": (0.0256, 0.0107, 0.0383, 0.0134),
+        "PUP": (0.0266, 0.0113, 0.0403, 0.0142),
+    },
+}
+
+PAPER_TABLE3 = {
+    "PUP w/o c,p": (0.0726, 0.0211, 0.1155, 0.0285),
+    "PUP w/ c": (0.0633, 0.0222, 0.0944, 0.0276),
+    "PUP w/ p": (0.0854, 0.0277, 0.1275, 0.0350),
+    "PUP": (0.0890, 0.0293, 0.1336, 0.0370),
+}
+
+PAPER_TABLE4 = {
+    "Uniform": (0.0807, 0.0264, 0.1192, 0.0331),
+    "Rank": (0.0885, 0.0294, 0.1313, 0.0368),
+}
+
+PAPER_TABLE5 = {  # allocation -> Recall@50 on Yelp
+    "16/48": 0.1460,
+    "32/32": 0.1689,
+    "48/16": 0.1757,
+    "56/8": 0.1765,
+    "60/4": 0.1745,
+}
+
+PAPER_TABLE6 = {  # NDCG@50 on Beibei
+    "consistent": {"DeepFM": 0.0091, "PUP": 0.0129},
+    "inconsistent": {"DeepFM": 0.0085, "PUP": 0.0086},
+}
+
+PAPER_FIG5_LEVELS = (2, 3, 5, 10, 20, 50, 100)

@@ -1,0 +1,64 @@
+"""Table V — embedding-size allocation between the two branches (Yelp-like).
+
+With the holistic size fixed at 64, the split global/category is swept over
+16/48, 32/32, 48/16, 56/8, 60/4.  Paper shape: performance improves as the
+global branch takes the majority, peaks around 56/8, and degrades when the
+category branch is squeezed to almost nothing.
+"""
+
+import numpy as np
+
+from benchmarks._harness import (
+    PAPER_TABLE5,
+    default_config,
+    format_table,
+    get_dataset,
+    write_report,
+)
+from repro.core import pup_full
+from repro.eval import evaluate
+from repro.train import train_model
+
+ALLOCATIONS = [(16, 48), (32, 32), (48, 16), (56, 8), (60, 4)]
+
+
+def run_table5():
+    dataset = get_dataset("yelp")
+    results = {}
+    for global_dim, category_dim in ALLOCATIONS:
+        model = pup_full(
+            dataset,
+            global_dim=global_dim,
+            category_dim=category_dim,
+            rng=np.random.default_rng(0),
+        )
+        train_model(model, dataset, default_config())
+        key = f"{global_dim}/{category_dim}"
+        results[key] = evaluate(model, dataset, ks=(50,))["Recall@50"]
+    return results
+
+
+def test_table5_embedding_allocation(benchmark):
+    results = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+
+    rows = [
+        [allocation, f"{recall:.4f}", f"{PAPER_TABLE5[allocation]:.4f}"]
+        for allocation, recall in results.items()
+    ]
+    report = format_table(
+        "Table V — embedding allocation global/category, yelp-like (measured | paper)",
+        ["allocation", "Recall@50", "paper:Recall@50"],
+        rows,
+        notes=[
+            "paper shape: global-branch majority wins; 16/48 clearly worst;",
+            "peak near 56/8.",
+        ],
+    )
+    write_report("table5_allocation", report)
+
+    # A global-majority allocation must beat the category-majority one.
+    best = max(results, key=results.get)
+    global_dim = int(best.split("/")[0])
+    assert global_dim >= 32, f"best allocation {best} should favour the global branch"
+    assert results["48/16"] > results["16/48"]
+    assert results["56/8"] > results["16/48"]

@@ -1,0 +1,76 @@
+"""Table VI — consistent vs inconsistent users on the Beibei-like dataset.
+
+Users are split by CWTP entropy (Section II-A).  Paper shape: both DeepFM
+and PUP do much better on consistent users; PUP's boost over DeepFM is
+large on the consistent group and small (but non-negative) on the
+inconsistent group.
+"""
+
+import numpy as np
+
+from benchmarks._harness import (
+    PAPER_TABLE6,
+    default_config,
+    format_table,
+    get_dataset,
+    write_report,
+)
+from repro.baselines import DeepFM
+from repro.core import pup_full
+from repro.eval import consistency_groups, evaluate_user_groups
+from repro.train import train_model
+
+
+def run_table6():
+    dataset = get_dataset("beibei")
+    groups = consistency_groups(dataset)
+
+    models = {
+        "DeepFM": DeepFM(dataset, dim=32, hidden=(64, 32), rng=np.random.default_rng(0)),
+        "PUP": pup_full(dataset, global_dim=56, category_dim=8, rng=np.random.default_rng(0)),
+    }
+    results = {}
+    for name, model in models.items():
+        train_model(model, dataset, default_config())
+        results[name] = evaluate_user_groups(model, dataset, groups, ks=(50,))
+    sizes = {name: len(users) for name, users in groups.items()}
+    return results, sizes
+
+
+def test_table6_consistency_groups(benchmark):
+    results, sizes = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+
+    rows = []
+    for group in ("consistent", "inconsistent"):
+        deepfm = results["DeepFM"][group]["NDCG@50"]
+        pup = results["PUP"][group]["NDCG@50"]
+        boost = (pup - deepfm) / deepfm * 100 if deepfm > 0 else float("inf")
+        paper = PAPER_TABLE6[group]
+        paper_boost = (paper["PUP"] - paper["DeepFM"]) / paper["DeepFM"] * 100
+        rows.append(
+            [
+                group,
+                f"{deepfm:.4f}",
+                f"{pup:.4f}",
+                f"{boost:+.1f}%",
+                f"{paper['DeepFM']:.4f}",
+                f"{paper['PUP']:.4f}",
+                f"{paper_boost:+.1f}%",
+            ]
+        )
+    report = format_table(
+        "Table VI — NDCG@50 per consistency group, beibei-like (measured | paper)",
+        ["group", "DeepFM", "PUP", "boost", "paper:DeepFM", "paper:PUP", "paper:boost"],
+        rows,
+        notes=[
+            f"group sizes: {sizes}",
+            "paper shape: PUP >= DeepFM on both groups; the boost is larger on",
+            "consistent users; both models find inconsistent users harder.",
+        ],
+    )
+    write_report("table6_user_groups", report)
+
+    for group in ("consistent", "inconsistent"):
+        assert results["PUP"][group]["NDCG@50"] >= results["DeepFM"][group]["NDCG@50"] * 0.98
+    # Consistent users are easier for the price-aware model.
+    assert results["PUP"]["consistent"]["NDCG@50"] > results["PUP"]["inconsistent"]["NDCG@50"]

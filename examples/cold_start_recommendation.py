@@ -1,0 +1,53 @@
+"""Cold start: recommending items from categories a user never explored.
+
+Reproduces the Section V-F scenario: train a price-blind graph model
+(GC-MC) and price-aware PUP, then compare them under the CIR and UCIR
+protocols.  The price nodes give PUP an extra path to unexplored
+categories (user -> item -> price -> item).
+
+Run:  python examples/cold_start_recommendation.py
+"""
+
+import numpy as np
+
+from repro.baselines import GCMC
+from repro.core import pup_full
+from repro.data import load_dataset
+from repro.eval import build_cold_start_task, evaluate_cold_start
+from repro.train import TrainConfig, train_model
+
+
+def main() -> None:
+    dataset, _truth = load_dataset("yelp", scale=0.5)
+    print("dataset:", dataset.summary())
+
+    task = build_cold_start_task(dataset)
+    print(f"\ncold-start users (test purchases in unexplored categories): "
+          f"{len(task.users)}")
+
+    config = TrainConfig(epochs=25, lr_milestones=(12, 19))
+    models = {
+        "GC-MC (price-blind)": GCMC(dataset, dim=64, rng=np.random.default_rng(0)),
+        "PUP (price-aware)": pup_full(
+            dataset, global_dim=56, category_dim=8, rng=np.random.default_rng(0)
+        ),
+    }
+
+    print("\n%-22s %-10s %-10s %-10s %-10s" % ("model", "CIR R@50", "CIR N@50", "UCIR R@50", "UCIR N@50"))
+    for name, model in models.items():
+        train_model(model, dataset, config)
+        row = [name]
+        for protocol in ("CIR", "UCIR"):
+            metrics = evaluate_cold_start(model, dataset, protocol=protocol, ks=(50,), task=task)
+            row.extend([f"{metrics['Recall@50']:.4f}", f"{metrics['NDCG@50']:.4f}"])
+        print("%-22s %-10s %-10s %-10s %-10s" % tuple(row))
+
+    print(
+        "\nWhy PUP transfers: an item in an unexplored category is a high-order\n"
+        "neighbor of the user through price nodes (user-item-price-item), so\n"
+        "purchasing power learned in explored categories carries over."
+    )
+
+
+if __name__ == "__main__":
+    main()

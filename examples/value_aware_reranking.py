@@ -1,0 +1,45 @@
+"""Value-aware recommendation: the paper's Section VII revenue extension.
+
+Trains PUP, then sweeps the relevance/revenue blend of
+:class:`~repro.core.value_aware.ValueAwareReranker`, reporting how accuracy
+(Recall@50) trades against realized revenue per user.
+
+Run:  python examples/value_aware_reranking.py
+"""
+
+import numpy as np
+
+from repro.core import ValueAwareReranker, pup_full, realized_revenue_at_k
+from repro.data import load_dataset
+from repro.eval import recall_at_k
+from repro.train import TrainConfig, train_model
+
+
+def main() -> None:
+    dataset, _truth = load_dataset("beibei", scale=0.5)
+    print("dataset:", dataset.summary())
+
+    model = pup_full(dataset, global_dim=56, category_dim=8, rng=np.random.default_rng(0))
+    train_model(model, dataset, TrainConfig(epochs=25, lr_milestones=(12, 19)))
+
+    positives = dataset.split_positive_sets("test")
+    users = sorted(positives)
+
+    print("\n%-18s %-12s %-14s" % ("relevance_weight", "Recall@50", "revenue/user"))
+    for weight in (1.0, 0.8, 0.5, 0.2, 0.0):
+        reranker = ValueAwareReranker(model, dataset, relevance_weight=weight)
+        rankings = reranker.rerank(users, k=50)
+        recall = float(
+            np.mean([recall_at_k(rankings[u], positives[u], 50) for u in users])
+        )
+        revenue = realized_revenue_at_k(dataset, rankings, k=50)
+        print("%-18.1f %-12.4f %-14.2f" % (weight, recall, revenue))
+
+    print(
+        "\nweight 1.0 is the plain recommender; lowering it trades Recall for\n"
+        "expected revenue — the value-aware dial the paper's conclusion proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

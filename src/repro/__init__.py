@@ -1,0 +1,42 @@
+"""repro — reproduction of "Price-aware Recommendation with Graph
+Convolutional Networks" (PUP, ICDE 2020) in pure NumPy.
+
+Public API tour:
+
+* :mod:`repro.data`   — datasets, synthetic generators, quantization
+* :mod:`repro.graph`  — the unified heterogeneous graph
+* :mod:`repro.core`   — the PUP model and its ablation variants
+* :mod:`repro.baselines` — ItemPop, BPR-MF, PaDQ, FM, DeepFM, GC-MC, NGCF
+* :mod:`repro.train`  — BPR trainer
+* :mod:`repro.eval`   — Recall/NDCG, cold-start protocols, user groups
+* :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
+* :mod:`repro.nn`     — the NumPy autograd substrate
+
+Quickstart::
+
+    from repro.data import load_dataset
+    from repro.core import pup_full
+    from repro.train import TrainConfig, train_model
+    from repro.eval import evaluate
+
+    dataset, _ = load_dataset("yelp", scale=0.5)
+    model = pup_full(dataset)
+    train_model(model, dataset, TrainConfig(epochs=20))
+    print(evaluate(model, dataset, ks=(50,)))
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, data, eval, graph, nn, train
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "data",
+    "eval",
+    "graph",
+    "nn",
+    "train",
+    "__version__",
+]

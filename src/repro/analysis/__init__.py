@@ -1,0 +1,21 @@
+"""Analyses behind the paper's motivation figures (Fig 1, Fig 2)."""
+
+from .cwtp import (
+    cwtp_entropy,
+    cwtp_per_user,
+    entropy_histogram,
+    entropy_of_values,
+    split_users_by_consistency,
+)
+from .heatmap import render_ascii, row_concentration, user_price_category_heatmap
+
+__all__ = [
+    "cwtp_entropy",
+    "cwtp_per_user",
+    "entropy_histogram",
+    "entropy_of_values",
+    "split_users_by_consistency",
+    "render_ascii",
+    "row_concentration",
+    "user_price_category_heatmap",
+]

@@ -1,0 +1,94 @@
+"""CWTP — category willingness-to-pay — and its entropy (Section II-A).
+
+The paper extends willingness-to-pay (WTP) to *category* WTP: the highest
+price level a user has paid within a category.  A user active in several
+categories has one CWTP per category; the entropy of those values measures
+how (in)consistent the user's price sensitivity is across categories:
+
+* entropy 0      — the same CWTP everywhere (consistent user);
+* entropy log(C) — a different CWTP in every category (inconsistent user).
+
+Fig 1 is the histogram of this entropy over all users; Table VI splits users
+into consistent/inconsistent groups by it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..data.dataset import Dataset, InteractionTable
+
+
+def cwtp_per_user(dataset: Dataset, table: InteractionTable | None = None) -> Dict[int, Dict[int, int]]:
+    """Mapping ``user -> {category -> max price level purchased}``.
+
+    Defaults to the training split (price awareness must be inferred from
+    history available at training time).
+    """
+    table = table if table is not None else dataset.train
+    levels = dataset.item_price_levels
+    categories = dataset.item_categories
+    cwtp: Dict[int, Dict[int, int]] = {}
+    for user, item in zip(table.users, table.items):
+        user, item = int(user), int(item)
+        category = int(categories[item])
+        level = int(levels[item])
+        per_user = cwtp.setdefault(user, {})
+        if level > per_user.get(category, -1):
+            per_user[category] = level
+    return cwtp
+
+
+def entropy_of_values(values: np.ndarray) -> float:
+    """Shannon entropy (nats) of the empirical distribution of ``values``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("cannot compute entropy of an empty value set")
+    __, counts = np.unique(values, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def cwtp_entropy(dataset: Dataset, table: InteractionTable | None = None) -> Dict[int, float]:
+    """Per-user entropy of CWTP values across categories.
+
+    Users who only interacted with one category have entropy 0 trivially;
+    they are included (the paper's Fig 1 histogram covers all users).
+    """
+    cwtp = cwtp_per_user(dataset, table)
+    return {
+        user: entropy_of_values(np.array(list(per_category.values())))
+        for user, per_category in cwtp.items()
+    }
+
+
+def entropy_histogram(
+    dataset: Dataset, bins: int = 30, table: InteractionTable | None = None
+) -> tuple:
+    """(bin_edges, density) pairs reproducing Fig 1's histogram."""
+    entropies = np.array(list(cwtp_entropy(dataset, table).values()))
+    density, edges = np.histogram(entropies, bins=bins, density=True)
+    return edges, density
+
+
+def split_users_by_consistency(
+    dataset: Dataset, table: InteractionTable | None = None
+) -> tuple:
+    """(consistent_users, inconsistent_users) via a median split on entropy.
+
+    Users active in a single category (entropy trivially 0) land in the
+    consistent group, matching the paper's framing.
+    """
+    entropies = cwtp_entropy(dataset, table)
+    if not entropies:
+        raise ValueError("no users with training interactions")
+    values = np.array(list(entropies.values()))
+    positive = values[values > 0]
+    if positive.size == 0:
+        return sorted(entropies), []
+    threshold = float(np.median(positive))
+    consistent = sorted(u for u, e in entropies.items() if e < threshold or e == 0.0)
+    inconsistent = sorted(u for u, e in entropies.items() if e >= threshold and e > 0.0)
+    return consistent, inconsistent

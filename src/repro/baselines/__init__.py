@@ -1,0 +1,12 @@
+"""The seven Table II baselines, all on the common Recommender interface."""
+
+from .itempop import ItemPop
+from .bpr_mf import BPRMF
+from .fm import FM
+from .deepfm import DeepFM
+from .padq import PaDQ
+from .gcmc import GCMC
+from .ngcf import NGCF
+from .lightgcn import LightGCN
+
+__all__ = ["ItemPop", "BPRMF", "FM", "DeepFM", "PaDQ", "GCMC", "NGCF", "LightGCN"]

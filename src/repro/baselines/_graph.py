@@ -1,0 +1,26 @@
+"""Bipartite user-item adjacency shared by the GC-MC and NGCF baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.dataset import Dataset
+
+
+def bipartite_normalized_adjacency(dataset: Dataset) -> sp.csr_matrix:
+    """Row-normalized ``A + I`` over the (users + items) bipartite graph.
+
+    Node layout: ``[0, n_users)`` users, ``[n_users, n_users + n_items)``
+    items — the same convention GC-MC and NGCF use on the user-item graph.
+    """
+    n = dataset.n_users + dataset.n_items
+    rows = dataset.train.users
+    cols = dataset.train.items + dataset.n_users
+    data = np.ones(len(rows))
+    upper = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    matrix = (upper + upper.T).tocsr()
+    matrix.data[:] = 1.0
+    matrix = (matrix + sp.identity(n, format="csr")).tocsr()
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    return (sp.diags(1.0 / row_sums) @ matrix).tocsr()

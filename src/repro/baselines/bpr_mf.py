@@ -1,0 +1,47 @@
+"""BPR-MF — matrix factorization trained with the BPR loss [Rendle 2009]."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+from ..nn import Embedding, Tensor
+
+
+class BPRMF(Recommender):
+    """Pure collaborative filtering: ``s(u, i) = e_u · e_i``."""
+
+    name = "BPR-MF"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+        embedding_std: float = 0.1,
+    ) -> None:
+        super().__init__(dataset)
+        rng = rng or np.random.default_rng()
+        self.user_embedding = Embedding(self.n_users, dim, rng=rng, std=embedding_std)
+        self.item_embedding = Embedding(self.n_items, dim, rng=rng, std=embedding_std)
+
+    def score_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_pair_shapes(users, items)
+        return (self.user_embedding(users) * self.item_embedding(items)).sum(axis=1)
+
+    def bpr_forward(
+        self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray
+    ) -> Tuple[Tensor, Tensor, List[Tensor]]:
+        user_emb = self.user_embedding(users)
+        pos_emb = self.item_embedding(pos_items)
+        neg_emb = self.item_embedding(neg_items)
+        pos = (user_emb * pos_emb).sum(axis=1)
+        neg = (user_emb * neg_emb).sum(axis=1)
+        return pos, neg, [user_emb, pos_emb, neg_emb]
+
+    def predict_scores(self, users: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        return self.user_embedding.weight.data[users] @ self.item_embedding.weight.data.T

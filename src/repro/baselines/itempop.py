@@ -1,0 +1,26 @@
+"""ItemPop — non-personalized popularity ranking (Table II baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+
+
+class ItemPop(Recommender):
+    """Ranks items by their interaction count in the training set."""
+
+    name = "ItemPop"
+    trainable = False
+
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(dataset)
+        self._popularity = dataset.item_popularity()
+
+    def score_pairs(self, users: np.ndarray, items: np.ndarray):
+        raise NotImplementedError("ItemPop is not trainable; use predict_scores")
+
+    def predict_scores(self, users: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        return np.tile(self._popularity, (len(users), 1))

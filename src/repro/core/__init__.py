@@ -1,0 +1,31 @@
+"""Core library: the PUP model, its encoder/decoder, and ablation variants."""
+
+from .base import Recommender
+from .encoder import GCNEncoder
+from .decoder import pairwise_interaction, pairwise_interaction_numpy
+from .pup import PUP
+from .value_aware import ValueAwareReranker, realized_revenue_at_k
+from .variants import (
+    VARIANTS,
+    pup_full,
+    pup_minus,
+    pup_with_category,
+    pup_with_price,
+    pup_without_price_and_category,
+)
+
+__all__ = [
+    "Recommender",
+    "GCNEncoder",
+    "pairwise_interaction",
+    "pairwise_interaction_numpy",
+    "PUP",
+    "VARIANTS",
+    "pup_full",
+    "pup_minus",
+    "pup_with_category",
+    "pup_with_price",
+    "pup_without_price_and_category",
+    "ValueAwareReranker",
+    "realized_revenue_at_k",
+]

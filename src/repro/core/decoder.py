@@ -1,0 +1,45 @@
+"""The pairwise-interaction (FM-style) decoder of Section III-C / IV-B.
+
+Given a list of per-example embedding tensors ``[e_1, ..., e_k]`` (all of
+shape ``(batch, dim)``) the decoder computes the sum of inner products over
+every unordered pair:
+
+    sum_{f < g} e_f · e_g  =  1/2 [ (sum_f e_f)^2 - sum_f e_f^2 ]   (Eq. 7)
+
+which is linear in the number of features — the classic FM trick the paper
+highlights in Section IV-B.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Tensor, stack_sum
+
+
+def pairwise_interaction(embeddings: Sequence[Tensor]) -> Tensor:
+    """Sum of all pairwise inner products per row; returns shape ``(batch,)``."""
+    embeddings = list(embeddings)
+    if len(embeddings) < 2:
+        raise ValueError(f"need at least two feature embeddings, got {len(embeddings)}")
+    shapes = {e.shape for e in embeddings}
+    if len(shapes) != 1:
+        raise ValueError(f"all embeddings must share a shape, got {sorted(shapes)}")
+
+    total = stack_sum(embeddings)
+    square_of_sum = (total * total).sum(axis=1)
+    sum_of_squares = stack_sum([e * e for e in embeddings]).sum(axis=1)
+    return (square_of_sum - sum_of_squares) * 0.5
+
+
+def pairwise_interaction_numpy(embeddings: Sequence[np.ndarray]) -> np.ndarray:
+    """NumPy twin of :func:`pairwise_interaction` for inference paths."""
+    embeddings = list(embeddings)
+    if len(embeddings) < 2:
+        raise ValueError(f"need at least two feature embeddings, got {len(embeddings)}")
+    total = np.add.reduce(embeddings)
+    square_of_sum = (total * total).sum(axis=-1)
+    sum_of_squares = np.add.reduce([e * e for e in embeddings]).sum(axis=-1)
+    return 0.5 * (square_of_sum - sum_of_squares)

@@ -1,0 +1,68 @@
+"""The graph convolutional encoder of Section III-B / IV-A.
+
+One branch = one embedding table over all heterogeneous nodes plus one
+propagation step
+
+    F_out = tanh( Â · W )          (Eq. 6, with F_in = I so F_in·W = W)
+
+where ``Â = row_normalize(A + I)`` (Eq. 5).  Feature-level dropout
+(Section IV-C) is applied to the propagated representations at training
+time.  ``n_layers`` stacks the propagation (the paper uses one layer; more
+are supported for ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from ..nn import Dropout, Embedding, Module, Tensor
+
+
+class GCNEncoder(Module):
+    """Embedding layer + embedding propagation + neighbor aggregation."""
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        dropout: float = 0.1,
+        n_layers: int = 1,
+        embedding_std: float = 0.1,
+        self_loops: bool = True,
+    ) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError(f"embedding dim must be >= 1, got {dim}")
+        if n_layers < 0:
+            raise ValueError(f"n_layers must be >= 0, got {n_layers}")
+        rng = rng or np.random.default_rng()
+        self.graph = graph
+        self.dim = dim
+        self.n_layers = n_layers
+        self.embedding = Embedding(graph.n_nodes, dim, rng=rng, std=embedding_std)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self._adjacency = graph.normalized_adjacency(self_loops=self_loops)
+
+    def __call__(self) -> Tensor:
+        """Propagated node representations, shape ``(n_nodes, dim)``.
+
+        With ``n_layers=0`` this degrades to the raw embedding table (a
+        useful ablation: PUP without graph convolution).
+        """
+        out = self.embedding.all()
+        for _ in range(self.n_layers):
+            out = out.sparse_matmul(self._adjacency).tanh()
+        if self.dropout is not None:
+            out = self.dropout(out)
+        return out
+
+    def propagate_inference(self) -> np.ndarray:
+        """Pure-NumPy forward pass for evaluation (no graph recording)."""
+        out = self.embedding.weight.data
+        for _ in range(self.n_layers):
+            out = np.tanh(self._adjacency @ out)
+        return out

@@ -1,0 +1,71 @@
+"""Named constructors for the PUP ablation variants used in the paper.
+
+Table III compares the full model with three slim versions; Fig 6 uses
+"PUP−" (category nodes removed).  All of them are `PUP` instances with the
+price/category factors toggled:
+
+============  =========  ============  =================================
+variant       use_price  use_category  decoder features
+============  =========  ============  =================================
+PUP           yes        yes           two branches: {u,i,p} and {u,c,p}
+PUP w/ p      yes        no            single branch {u, i, p}
+PUP w/ c      no         yes           single branch {u, i, c}
+PUP w/o c,p   no         no            single branch {u, i} (GCN-MF)
+PUP−          yes        no            alias of "PUP w/ p"
+============  =========  ============  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .pup import PUP
+
+
+def pup_full(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
+    """The complete two-branch PUP model."""
+    model = PUP(dataset, rng=rng, use_price=True, use_category=True, **kwargs)
+    model.name = "PUP"
+    return model
+
+
+def pup_with_price(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
+    """Price kept, category removed — a single {u, i, p} branch."""
+    model = PUP(dataset, rng=rng, use_price=True, use_category=False, **kwargs)
+    model.name = "PUP w/ p"
+    return model
+
+
+def pup_with_category(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
+    """Category kept, price removed — a single {u, i, c} branch."""
+    model = PUP(dataset, rng=rng, use_price=False, use_category=True, **kwargs)
+    model.name = "PUP w/ c"
+    return model
+
+
+def pup_without_price_and_category(
+    dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs
+) -> PUP:
+    """Both factors removed: GCN-encoded matrix factorization."""
+    model = PUP(dataset, rng=rng, use_price=False, use_category=False, **kwargs)
+    model.name = "PUP w/o c,p"
+    return model
+
+
+def pup_minus(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
+    """PUP− from the cold-start study (Fig 6): category nodes removed."""
+    model = pup_with_price(dataset, rng=rng, **kwargs)
+    model.name = "PUP-"
+    return model
+
+
+VARIANTS = {
+    "PUP": pup_full,
+    "PUP w/ p": pup_with_price,
+    "PUP w/ c": pup_with_category,
+    "PUP w/o c,p": pup_without_price_and_category,
+    "PUP-": pup_minus,
+}

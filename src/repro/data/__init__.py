@@ -1,0 +1,37 @@
+"""Data substrate: containers, synthetic generators, quantization, splits."""
+
+from .dataset import Dataset, InteractionTable, ItemCatalog
+from .quantization import quantize, rank_quantize, uniform_quantize
+from .kcore import k_core_filter
+from .split import temporal_split
+from .sampling import NegativeSampler
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticGroundTruth,
+    generate,
+    make_amazon_like,
+    make_beibei_like,
+    make_yelp_like,
+)
+from .registry import available_datasets, clear_cache, load_dataset
+
+__all__ = [
+    "Dataset",
+    "InteractionTable",
+    "ItemCatalog",
+    "quantize",
+    "rank_quantize",
+    "uniform_quantize",
+    "k_core_filter",
+    "temporal_split",
+    "NegativeSampler",
+    "SyntheticConfig",
+    "SyntheticGroundTruth",
+    "generate",
+    "make_amazon_like",
+    "make_beibei_like",
+    "make_yelp_like",
+    "available_datasets",
+    "clear_cache",
+    "load_dataset",
+]

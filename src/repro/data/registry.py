@@ -1,0 +1,48 @@
+"""Named dataset registry with in-process caching.
+
+Benchmarks and examples refer to datasets by name ('yelp', 'beibei',
+'amazon'); the registry builds them lazily and caches by (name, seed, scale)
+so nine benchmark files training on the same dataset do not regenerate it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .dataset import Dataset
+from .synthetic import (
+    SyntheticGroundTruth,
+    make_amazon_like,
+    make_beibei_like,
+    make_yelp_like,
+)
+
+_BUILDERS: Dict[str, Callable] = {
+    "yelp": make_yelp_like,
+    "beibei": make_beibei_like,
+    "amazon": make_amazon_like,
+}
+
+_CACHE: Dict[Tuple, Tuple[Dataset, SyntheticGroundTruth]] = {}
+
+
+def available_datasets() -> list:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_BUILDERS)
+
+
+def load_dataset(
+    name: str, seed: int = 0, scale: float = 1.0, **kwargs
+) -> Tuple[Dataset, SyntheticGroundTruth]:
+    """Build (or return cached) dataset + ground truth by name."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    key = (name, seed, scale, tuple(sorted(kwargs.items())))
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[name](seed=seed, scale=scale, **kwargs)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (used by tests)."""
+    _CACHE.clear()

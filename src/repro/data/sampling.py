@@ -1,0 +1,72 @@
+"""Negative sampling for BPR training.
+
+For each observed (user, item) pair the sampler draws ``rate`` unobserved
+items uniformly (the paper uses negative sampling rate 1).  Rejection
+sampling is vectorized: draw candidate items for the whole batch, re-draw
+only the collisions with the user's training positives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+class NegativeSampler:
+    """Draws (user, pos_item, neg_item) triples from a dataset's train split."""
+
+    def __init__(self, dataset: Dataset, rng: np.random.Generator, rate: int = 1) -> None:
+        if rate < 1:
+            raise ValueError(f"negative sampling rate must be >= 1, got {rate}")
+        self.dataset = dataset
+        self.rng = rng
+        self.rate = rate
+        self._pos = dataset.train_positive_sets()
+        if dataset.n_items <= 1:
+            raise ValueError("negative sampling needs at least 2 items")
+        # Guard against pathological users who interacted with everything.
+        for user, items in self._pos.items():
+            if len(items) >= dataset.n_items:
+                raise ValueError(f"user {user} has interacted with every item; cannot sample")
+
+    def sample_negatives(self, users: np.ndarray) -> np.ndarray:
+        """One negative item per user in ``users`` (vectorized rejection)."""
+        users = np.asarray(users, dtype=np.int64)
+        negatives = self.rng.integers(0, self.dataset.n_items, size=len(users))
+        pending = np.array(
+            [item in self._pos.get(int(user), ()) for user, item in zip(users, negatives)]
+        )
+        # Each round re-draws only colliding entries; terminates with
+        # probability 1 because every user has at least one non-positive item.
+        while pending.any():
+            redraw = self.rng.integers(0, self.dataset.n_items, size=int(pending.sum()))
+            negatives[pending] = redraw
+            idx = np.flatnonzero(pending)
+            still = np.array(
+                [negatives[i] in self._pos.get(int(users[i]), ()) for i in idx]
+            )
+            pending[idx] = still
+        return negatives
+
+    def epoch_batches(
+        self, batch_size: int, shuffle: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield (users, pos_items, neg_items) mini-batches covering the train split.
+
+        With ``rate > 1`` the positive pairs are repeated ``rate`` times, each
+        repetition paired with an independent negative draw.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        users = np.repeat(self.dataset.train.users, self.rate)
+        items = np.repeat(self.dataset.train.items, self.rate)
+        order = self.rng.permutation(len(users)) if shuffle else np.arange(len(users))
+        users, items = users[order], items[order]
+        for start in range(0, len(users), batch_size):
+            batch_users = users[start : start + batch_size]
+            batch_pos = items[start : start + batch_size]
+            batch_neg = self.sample_negatives(batch_users)
+            yield batch_users, batch_pos, batch_neg

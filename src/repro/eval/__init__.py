@@ -1,0 +1,39 @@
+"""Evaluation: ranking metrics, protocols, and user-group analyses."""
+
+from .metrics import mean_metric, ndcg_at_k, recall_at_k
+from .ranking import evaluate, topk_rankings
+from .protocols import ColdStartTask, build_cold_start_task, evaluate_cold_start
+from .groups import consistency_groups, evaluate_user_groups
+from .extended_metrics import (
+    average_precision_at_k,
+    category_coverage,
+    evaluate_extended,
+    hit_rate_at_k,
+    mrr_at_k,
+    precision_at_k,
+    preferred_price_level,
+    price_calibration_error,
+    price_level_coverage,
+)
+
+__all__ = [
+    "mean_metric",
+    "ndcg_at_k",
+    "recall_at_k",
+    "evaluate",
+    "topk_rankings",
+    "ColdStartTask",
+    "build_cold_start_task",
+    "evaluate_cold_start",
+    "consistency_groups",
+    "evaluate_user_groups",
+    "average_precision_at_k",
+    "category_coverage",
+    "evaluate_extended",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "precision_at_k",
+    "preferred_price_level",
+    "price_calibration_error",
+    "price_level_coverage",
+]

@@ -1,0 +1,158 @@
+"""Extended ranking metrics beyond the paper's Recall/NDCG.
+
+These support the deeper analyses in the examples and ablation benches:
+
+* classic ranking metrics — Precision@K, HitRate@K, MRR@K, MAP@K;
+* price-aware diagnostics — *price calibration error* (how far recommended
+  price levels sit from the user's historically preferred levels) and
+  *price/category coverage* (how much of the attribute space the top-K
+  explores), which quantify the behaviour Figs 2/6 describe qualitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+import numpy as np
+
+from ..data.dataset import Dataset
+
+
+def precision_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    _check(relevant, k)
+    top = ranked_items[:k]
+    hits = sum(1 for item in top if int(item) in relevant)
+    return hits / k
+
+
+def hit_rate_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """1 if any relevant item appears in the top-k else 0."""
+    _check(relevant, k)
+    return float(any(int(item) in relevant for item in ranked_items[:k]))
+
+
+def mrr_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Reciprocal rank of the first hit within the top-k (0 if none)."""
+    _check(relevant, k)
+    for rank, item in enumerate(ranked_items[:k]):
+        if int(item) in relevant:
+            return 1.0 / (rank + 1)
+    return 0.0
+
+
+def average_precision_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """AP@K: mean of precision at each hit position, normalized by min(k, |R|)."""
+    _check(relevant, k)
+    hits = 0
+    precision_sum = 0.0
+    for rank, item in enumerate(ranked_items[:k]):
+        if int(item) in relevant:
+            hits += 1
+            precision_sum += hits / (rank + 1)
+    denominator = min(k, len(relevant))
+    return precision_sum / denominator
+
+
+def _check(relevant: Set[int], k: int) -> None:
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+
+# ----------------------------------------------------------------------
+# Price-aware diagnostics
+# ----------------------------------------------------------------------
+
+def preferred_price_level(dataset: Dataset, user: int) -> float:
+    """The user's mean purchased price level in training (their comfort zone)."""
+    if not 0 <= user < dataset.n_users:
+        raise IndexError(f"user {user} out of range [0, {dataset.n_users})")
+    mask = dataset.train.users == user
+    items = dataset.train.items[mask]
+    if len(items) == 0:
+        raise ValueError(f"user {user} has no training interactions")
+    return float(dataset.item_price_levels[items].mean())
+
+
+def price_calibration_error(
+    dataset: Dataset, rankings: Dict[int, np.ndarray], k: int = 10
+) -> float:
+    """Mean |recommended price level − user's preferred level|, over users.
+
+    A price-aware recommender should score low: its top-K should sit near
+    each user's historical price comfort zone.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    errors = []
+    for user, ranked in rankings.items():
+        try:
+            preferred = preferred_price_level(dataset, user)
+        except ValueError:
+            continue
+        top = np.asarray(ranked[:k], dtype=np.int64)
+        recommended = dataset.item_price_levels[top].astype(np.float64)
+        errors.append(float(np.abs(recommended - preferred).mean()))
+    if not errors:
+        raise ValueError("no users with training history among the rankings")
+    return float(np.mean(errors))
+
+
+def category_coverage(
+    dataset: Dataset, rankings: Dict[int, np.ndarray], k: int = 10
+) -> float:
+    """Mean fraction of all categories represented in each user's top-K."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not rankings:
+        raise ValueError("rankings is empty")
+    fractions = []
+    for ranked in rankings.values():
+        top = np.asarray(ranked[:k], dtype=np.int64)
+        fractions.append(len(set(dataset.item_categories[top].tolist())) / dataset.n_categories)
+    return float(np.mean(fractions))
+
+
+def price_level_coverage(
+    dataset: Dataset, rankings: Dict[int, np.ndarray], k: int = 10
+) -> float:
+    """Mean fraction of all price levels represented in each user's top-K."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not rankings:
+        raise ValueError("rankings is empty")
+    fractions = []
+    for ranked in rankings.values():
+        top = np.asarray(ranked[:k], dtype=np.int64)
+        fractions.append(
+            len(set(dataset.item_price_levels[top].tolist())) / dataset.n_price_levels
+        )
+    return float(np.mean(fractions))
+
+
+def evaluate_extended(
+    rankings: Dict[int, np.ndarray],
+    positives: Dict[int, Set[int]],
+    ks: Sequence[int] = (10, 50),
+) -> Dict[str, float]:
+    """All classic extended metrics, averaged over users with positives."""
+    users = [u for u in rankings if positives.get(u)]
+    if not users:
+        raise ValueError("no users with positives among the rankings")
+    results: Dict[str, float] = {}
+    for k in sorted(set(int(k) for k in ks)):
+        results[f"Precision@{k}"] = float(
+            np.mean([precision_at_k(rankings[u], positives[u], k) for u in users])
+        )
+        results[f"HitRate@{k}"] = float(
+            np.mean([hit_rate_at_k(rankings[u], positives[u], k) for u in users])
+        )
+        results[f"MRR@{k}"] = float(
+            np.mean([mrr_at_k(rankings[u], positives[u], k) for u in users])
+        )
+        results[f"MAP@{k}"] = float(
+            np.mean([average_precision_at_k(rankings[u], positives[u], k) for u in users])
+        )
+    return results

@@ -1,0 +1,50 @@
+"""Per-user-group evaluation (Table VI: consistent vs inconsistent users)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from ..analysis.cwtp import split_users_by_consistency
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+from .metrics import mean_metric, ndcg_at_k, recall_at_k
+from .ranking import topk_rankings
+
+
+def evaluate_user_groups(
+    model: Recommender,
+    dataset: Dataset,
+    groups: Dict[str, Sequence[int]],
+    split: str = "test",
+    ks: Iterable[int] = (50,),
+) -> Dict[str, Dict[str, float]]:
+    """Metrics per named user group (only users with positives in ``split``)."""
+    ks = sorted(set(int(k) for k in ks))
+    positives = dataset.split_positive_sets(split)
+    results: Dict[str, Dict[str, float]] = {}
+    for group_name, group_users in groups.items():
+        users = [int(u) for u in group_users if int(u) in positives]
+        if not users:
+            raise ValueError(f"group {group_name!r} has no evaluable users in {split!r}")
+        rankings = topk_rankings(model, dataset, users, k=max(ks))
+        group_metrics: Dict[str, float] = {}
+        for k in ks:
+            group_metrics[f"Recall@{k}"] = mean_metric(
+                [recall_at_k(rankings[u], positives[u], k) for u in users]
+            )
+            group_metrics[f"NDCG@{k}"] = mean_metric(
+                [ndcg_at_k(rankings[u], positives[u], k) for u in users]
+            )
+        results[group_name] = group_metrics
+    return results
+
+
+def consistency_groups(dataset: Dataset) -> Dict[str, np.ndarray]:
+    """The paper's Table VI split: CWTP-entropy consistent vs inconsistent."""
+    consistent, inconsistent = split_users_by_consistency(dataset)
+    return {
+        "consistent": np.asarray(consistent, dtype=np.int64),
+        "inconsistent": np.asarray(inconsistent, dtype=np.int64),
+    }

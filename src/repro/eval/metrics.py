@@ -1,0 +1,50 @@
+"""Ranking metrics: Recall@K and NDCG@K (the paper's evaluation metrics).
+
+Definitions follow He et al. [2017] ("the same metrics as in [6]"):
+
+* ``Recall@K = |top-K ∩ relevant| / |relevant|``
+* ``NDCG@K = DCG@K / IDCG@K`` with binary gains, ``DCG = Σ 1/log2(rank+2)``
+  over hits, and IDCG computed for ``min(K, |relevant|)`` ideal hits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+
+def recall_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Recall of one user's ranked list against their relevant set."""
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = ranked_items[:k]
+    hits = sum(1 for item in top if int(item) in relevant)
+    return hits / len(relevant)
+
+
+def ndcg_at_k(ranked_items: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Binary-gain NDCG of one user's ranked list."""
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = ranked_items[:k]
+    dcg = sum(
+        1.0 / np.log2(rank + 2.0)
+        for rank, item in enumerate(top)
+        if int(item) in relevant
+    )
+    ideal_hits = min(k, len(relevant))
+    idcg = sum(1.0 / np.log2(rank + 2.0) for rank in range(ideal_hits))
+    return dcg / idcg
+
+
+def mean_metric(values: Sequence[float]) -> float:
+    """Average over users; empty input is an error (no users to evaluate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no per-user values to average")
+    return float(np.mean(values))

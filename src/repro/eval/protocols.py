@@ -1,0 +1,104 @@
+"""Cold-start evaluation protocols CIR and UCIR (Section V-F / Fig 6).
+
+Both protocols evaluate users who purchase items in the test set from
+categories they never touched in training:
+
+* **CIR** (category item recommendation): the candidate pool is every item
+  belonging to the user's *test-positive unexplored* categories.
+* **UCIR** (unexplored category item recommendation): the candidate pool is
+  every item whose category is *not* among the user's train-positive
+  categories.
+
+Ground truth in both cases is the user's test items from unexplored
+categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+import numpy as np
+
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+from .metrics import mean_metric, ndcg_at_k, recall_at_k
+from .ranking import topk_rankings
+
+
+@dataclass
+class ColdStartTask:
+    """Per-user cold-start targets and candidate pools."""
+
+    users: list
+    relevant: Dict[int, Set[int]]  # test items from unexplored categories
+    cir_pool: Dict[int, np.ndarray]
+    ucir_pool: Dict[int, np.ndarray]
+
+
+def build_cold_start_task(dataset: Dataset) -> ColdStartTask:
+    """Find users with unexplored-category test purchases and their pools."""
+    item_cats = dataset.item_categories
+    train_pos = dataset.train_positive_sets()
+    test_pos = dataset.split_positive_sets("test")
+
+    items_by_category: Dict[int, np.ndarray] = {
+        int(c): np.flatnonzero(item_cats == c) for c in range(dataset.n_categories)
+    }
+    all_categories = set(range(dataset.n_categories))
+
+    users, relevant, cir_pool, ucir_pool = [], {}, {}, {}
+    for user, test_items in test_pos.items():
+        train_cats = {int(item_cats[i]) for i in train_pos.get(user, ())}
+        unexplored_items = {i for i in test_items if int(item_cats[i]) not in train_cats}
+        if not unexplored_items:
+            continue
+        test_unexplored_cats = {int(item_cats[i]) for i in unexplored_items}
+        users.append(user)
+        relevant[user] = unexplored_items
+        cir_pool[user] = np.concatenate(
+            [items_by_category[c] for c in sorted(test_unexplored_cats)]
+        )
+        ucir_cats = sorted(all_categories - train_cats)
+        ucir_pool[user] = (
+            np.concatenate([items_by_category[c] for c in ucir_cats])
+            if ucir_cats
+            else np.array([], dtype=np.int64)
+        )
+    return ColdStartTask(users=users, relevant=relevant, cir_pool=cir_pool, ucir_pool=ucir_pool)
+
+
+def evaluate_cold_start(
+    model: Recommender,
+    dataset: Dataset,
+    protocol: str = "CIR",
+    ks: Iterable[int] = (50,),
+    task: ColdStartTask | None = None,
+) -> Dict[str, float]:
+    """Recall@K / NDCG@K under the chosen cold-start protocol."""
+    if protocol not in ("CIR", "UCIR"):
+        raise ValueError(f"protocol must be 'CIR' or 'UCIR', got {protocol!r}")
+    task = task or build_cold_start_task(dataset)
+    if not task.users:
+        raise ValueError("no cold-start users found (no unexplored-category test purchases)")
+    pools = task.cir_pool if protocol == "CIR" else task.ucir_pool
+    users = [u for u in task.users if len(pools[u]) > 0]
+    if not users:
+        raise ValueError(f"{protocol}: every candidate pool is empty")
+
+    ks = sorted(set(int(k) for k in ks))
+    rankings = topk_rankings(
+        model,
+        dataset,
+        users,
+        k=max(ks),
+        exclude_train=True,
+        candidate_items={u: pools[u] for u in users},
+    )
+    results: Dict[str, float] = {}
+    for k in ks:
+        recalls = [recall_at_k(rankings[u], task.relevant[u], k) for u in users]
+        ndcgs = [ndcg_at_k(rankings[u], task.relevant[u], k) for u in users]
+        results[f"Recall@{k}"] = mean_metric(recalls)
+        results[f"NDCG@{k}"] = mean_metric(ndcgs)
+    return results

@@ -1,0 +1,91 @@
+"""Full-ranking top-K evaluation.
+
+For every user with at least one positive in the evaluated split, all items
+the user has *not* interacted with in training form the candidate pool
+("the items that are not interacted by the user are viewed as negative
+samples"); the model ranks them and Recall@K / NDCG@K are averaged over
+users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+from .metrics import mean_metric, ndcg_at_k, recall_at_k
+
+_NEG_INF = -1e12
+
+
+def topk_rankings(
+    model: Recommender,
+    dataset: Dataset,
+    users: Sequence[int],
+    k: int,
+    exclude_train: bool = True,
+    user_chunk: int = 256,
+    candidate_items: Optional[Dict[int, np.ndarray]] = None,
+) -> Dict[int, np.ndarray]:
+    """Top-k ranked item ids per user.
+
+    ``candidate_items`` optionally restricts each user's pool (used by the
+    CIR/UCIR cold-start protocols); items outside the pool are masked out.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    users = np.asarray(list(users), dtype=np.int64)
+    train_pos = dataset.train_positive_sets()
+    rankings: Dict[int, np.ndarray] = {}
+
+    for start in range(0, len(users), user_chunk):
+        chunk = users[start : start + user_chunk]
+        scores = np.array(model.predict_scores(chunk), dtype=np.float64)
+        for row, user in enumerate(chunk):
+            user = int(user)
+            row_scores = scores[row]
+            if candidate_items is not None:
+                mask = np.full(dataset.n_items, _NEG_INF)
+                pool = candidate_items[user]
+                mask[pool] = 0.0
+                row_scores = row_scores + mask
+            if exclude_train:
+                positives = list(train_pos.get(user, ()))
+                if positives:
+                    row_scores = row_scores.copy()
+                    row_scores[positives] = _NEG_INF
+            top_k = min(k, dataset.n_items)
+            top = np.argpartition(-row_scores, top_k - 1)[:top_k]
+            rankings[user] = top[np.argsort(-row_scores[top], kind="stable")]
+    return rankings
+
+
+def evaluate(
+    model: Recommender,
+    dataset: Dataset,
+    split: str = "test",
+    ks: Iterable[int] = (50, 100),
+    exclude_train: bool = True,
+    user_chunk: int = 256,
+) -> Dict[str, float]:
+    """Recall@K / NDCG@K averaged over users with positives in ``split``."""
+    ks = sorted(set(int(k) for k in ks))
+    if not ks:
+        raise ValueError("need at least one cutoff k")
+    positives = dataset.split_positive_sets(split)
+    if not positives:
+        raise ValueError(f"split {split!r} has no interactions to evaluate")
+    users = sorted(positives)
+    rankings = topk_rankings(
+        model, dataset, users, k=max(ks), exclude_train=exclude_train, user_chunk=user_chunk
+    )
+
+    results: Dict[str, float] = {}
+    for k in ks:
+        recalls = [recall_at_k(rankings[user], positives[user], k) for user in users]
+        ndcgs = [ndcg_at_k(rankings[user], positives[user], k) for user in users]
+        results[f"Recall@{k}"] = mean_metric(recalls)
+        results[f"NDCG@{k}"] = mean_metric(ndcgs)
+    return results

@@ -1,0 +1,5 @@
+"""Graph substrate: the unified heterogeneous graph and its adjacency."""
+
+from .hetero import HeteroGraph, NodeSpace
+
+__all__ = ["HeteroGraph", "NodeSpace"]

@@ -1,0 +1,35 @@
+"""Pure-NumPy neural-network substrate (autograd, layers, optimizers, losses).
+
+This package replaces PyTorch for the reproduction: reverse-mode autograd
+:class:`~repro.nn.tensor.Tensor`, embedding/linear/dropout layers, SGD/Adam
+optimizers with step decay, and the BPR/BCE losses used in the paper.
+"""
+
+from .tensor import Tensor, concat, stack_sum, unbroadcast
+from .module import Module, Parameter
+from .layers import Embedding, Linear, Dropout, MLP
+from .optim import SGD, Adam, StepDecay
+from .losses import bpr_loss, bpr_loss_paper_eq4, bce_loss, l2_regularization, l2_on_batch
+from . import init
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack_sum",
+    "unbroadcast",
+    "Module",
+    "Parameter",
+    "Embedding",
+    "Linear",
+    "Dropout",
+    "MLP",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "bpr_loss",
+    "bpr_loss_paper_eq4",
+    "bce_loss",
+    "l2_regularization",
+    "l2_on_batch",
+    "init",
+]

@@ -1,0 +1,39 @@
+"""Weight-initialization schemes.
+
+All initializers take an explicit ``np.random.Generator`` so every experiment
+in the repo is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normal(rng: np.random.Generator, shape: tuple, std: float = 0.01) -> np.ndarray:
+    """Gaussian init — the common choice for recommender embeddings."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Glorot/Xavier uniform init for dense layers (as used by NGCF/GC-MC)."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Glorot/Xavier normal init."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape)

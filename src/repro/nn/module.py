@@ -1,0 +1,116 @@
+"""Module/Parameter abstractions mirroring the familiar torch.nn API surface.
+
+A :class:`Parameter` is just a Tensor with ``requires_grad=True``; a
+:class:`Module` collects parameters (and sub-modules) so that trainers and
+optimizers can iterate them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor. Always has ``requires_grad=True``."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` discovers them recursively.  ``training``
+    toggles dropout and other train-only behaviour.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for attr, value in vars(self).items():
+            full = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, element in enumerate(value):
+                    if isinstance(element, Parameter):
+                        yield f"{full}.{index}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{full}.{index}.")
+            elif isinstance(value, dict):
+                for key, element in value.items():
+                    if isinstance(element, Parameter):
+                        yield f"{full}.{key}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{full}.{key}.")
+
+    def parameters(self) -> list:
+        """All trainable parameters, depth-first and deduplicated."""
+        seen: set[int] = set()
+        result = []
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                result.append(param)
+        return result
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (enables dropout) recursively."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode recursively."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        element._set_mode(training)
+            elif isinstance(value, dict):
+                for element in value.values():
+                    if isinstance(element, Module):
+                        element._set_mode(training)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())

@@ -1,0 +1,118 @@
+"""Optimizers: SGD and Adam, plus a step-decay learning-rate schedule.
+
+The paper trains every model with Adam (initial lr 1e-2) and decays the
+learning rate by 10x twice during training; :class:`StepDecay` reproduces
+that schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepDecay:
+    """Multiply the optimizer lr by ``factor`` at each epoch in ``milestones``.
+
+    The paper reduces the learning rate "by a factor of 10 twice" over the
+    200-epoch run; e.g. ``StepDecay(opt, milestones=[100, 150], factor=0.1)``.
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], factor: float = 0.1) -> None:
+        if factor <= 0:
+            raise ValueError(f"decay factor must be positive, got {factor}")
+        self.optimizer = optimizer
+        self.milestones = sorted(int(m) for m in milestones)
+        self.factor = factor
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, applying decay if a milestone is crossed."""
+        self._epoch += 1
+        if self._epoch in self.milestones:
+            self.optimizer.lr *= self.factor
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,15 @@
+"""Training loop and configuration."""
+
+from .config import TrainConfig
+from .trainer import TrainResult, Trainer, train_model
+from .persistence import load_checkpoint, load_metadata, save_checkpoint
+
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "train_model",
+    "load_checkpoint",
+    "load_metadata",
+    "save_checkpoint",
+]

@@ -1,0 +1,50 @@
+"""Training configuration.
+
+Paper defaults (Section V-A3): BPR loss, embedding size 64, Adam with
+initial lr 1e-2, batch size 1024, negative sampling rate 1, 200 epochs with
+the learning rate reduced by 10x twice.  The defaults here are the same
+hyper-parameters at reduced epoch count (the synthetic datasets are far
+smaller than the originals and converge much earlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`~repro.train.trainer.Trainer`."""
+
+    epochs: int = 40
+    batch_size: int = 1024
+    learning_rate: float = 1e-2
+    l2_weight: float = 1e-4
+    negative_rate: int = 1
+    lr_milestones: Sequence[int] = field(default_factory=lambda: (20, 30))
+    lr_decay: float = 0.1
+    seed: int = 0
+    eval_every: int = 0  # 0 disables validation tracking
+    eval_k: int = 50
+    early_stop_patience: int = 0  # 0 disables early stopping
+    loss: str = "bpr"  # "bpr" (standard, stable) or "bpr_eq4" (literal Eq. 4)
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.l2_weight < 0:
+            raise ValueError(f"l2_weight must be >= 0, got {self.l2_weight}")
+        if self.negative_rate < 1:
+            raise ValueError(f"negative_rate must be >= 1, got {self.negative_rate}")
+        if self.eval_every < 0 or self.early_stop_patience < 0:
+            raise ValueError("eval_every and early_stop_patience must be >= 0")
+        if self.early_stop_patience and not self.eval_every:
+            raise ValueError("early stopping requires eval_every > 0")
+        if self.loss not in ("bpr", "bpr_eq4"):
+            raise ValueError(f"loss must be 'bpr' or 'bpr_eq4', got {self.loss!r}")

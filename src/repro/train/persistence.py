@@ -1,0 +1,74 @@
+"""Model checkpoint persistence (save/load trained weights as ``.npz``).
+
+Checkpoints store every named parameter plus a metadata header so a loader
+can verify it is restoring into a compatible architecture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..core.base import Recommender
+
+_METADATA_KEY = "__metadata__"
+
+
+def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) -> str:
+    """Serialize ``model``'s parameters to ``path`` (.npz appended if absent)."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+
+    state = model.state_dict()
+    metadata = {
+        "model_name": model.name,
+        "model_class": type(model).__name__,
+        "n_users": model.n_users,
+        "n_items": model.n_items,
+        "parameter_names": sorted(state),
+        "extra": extra or {},
+    }
+    arrays = dict(state)
+    arrays[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_metadata(path: str) -> Dict:
+    """Read only the metadata header of a checkpoint."""
+    with np.load(path) as archive:
+        if _METADATA_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+    return json.loads(raw)
+
+
+def load_checkpoint(model: Recommender, path: str, strict: bool = True) -> Dict:
+    """Restore parameters into ``model``; returns the checkpoint metadata.
+
+    With ``strict=True`` the checkpoint's model class and shape bookkeeping
+    must match the target model exactly.
+    """
+    metadata = load_metadata(path)
+    if strict:
+        if metadata["model_class"] != type(model).__name__:
+            raise ValueError(
+                f"checkpoint holds {metadata['model_class']}, target is {type(model).__name__}"
+            )
+        if metadata["n_users"] != model.n_users or metadata["n_items"] != model.n_items:
+            raise ValueError(
+                "checkpoint user/item counts "
+                f"({metadata['n_users']}/{metadata['n_items']}) do not match model "
+                f"({model.n_users}/{model.n_items})"
+            )
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+    model.load_state_dict(state)
+    return metadata

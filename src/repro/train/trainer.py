@@ -1,0 +1,136 @@
+"""The BPR training loop shared by PUP and every trainable baseline.
+
+Implements the paper's semi-supervised graph auto-encoder training: the
+encoder runs on the full graph, the decoder only reconstructs user-item
+edges via the BPR pairwise objective (Eq. 4) with L2 regularization on the
+batch embeddings, Adam, and a step lr decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.base import Recommender
+from ..data.dataset import Dataset
+from ..data.sampling import NegativeSampler
+from ..eval.ranking import evaluate
+from ..nn import Adam, StepDecay, bpr_loss, bpr_loss_paper_eq4, l2_on_batch
+from .config import TrainConfig
+
+
+@dataclass
+class TrainResult:
+    """Loss curve, validation history and the best validation checkpoint."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_history: List[Dict[str, float]] = field(default_factory=list)
+    best_metric: float = -np.inf
+    best_epoch: int = -1
+    epochs_run: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs were run")
+        return self.epoch_losses[-1]
+
+
+class Trainer:
+    """Trains a :class:`Recommender` on a :class:`Dataset` with BPR."""
+
+    def __init__(
+        self,
+        model: Recommender,
+        dataset: Dataset,
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def fit(self) -> TrainResult:
+        """Run the training loop; returns the loss/validation history.
+
+        Non-trainable models (ItemPop) return an empty result immediately.
+        If validation tracking is enabled, the model is restored to its best
+        validation checkpoint before returning.
+        """
+        result = TrainResult()
+        if not self.model.trainable:
+            return result
+
+        config = self.config
+        sampler = NegativeSampler(self.dataset, self._rng, rate=config.negative_rate)
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        schedule = StepDecay(optimizer, milestones=config.lr_milestones, factor=config.lr_decay)
+        best_state = None
+        bad_evals = 0
+
+        for epoch in range(1, config.epochs + 1):
+            self.model.train()
+            epoch_loss, n_batches = 0.0, 0
+            for users, pos_items, neg_items in sampler.epoch_batches(config.batch_size):
+                loss_value = self._step(optimizer, users, pos_items, neg_items)
+                epoch_loss += loss_value
+                n_batches += 1
+            schedule.step()
+            result.epoch_losses.append(epoch_loss / max(n_batches, 1))
+            result.epochs_run = epoch
+            if config.verbose:
+                print(
+                    f"[{self.model.name}] epoch {epoch:3d} "
+                    f"loss={result.epoch_losses[-1]:.4f} lr={schedule.current_lr:g}"
+                )
+
+            if config.eval_every and epoch % config.eval_every == 0:
+                metrics = self._validate()
+                result.validation_history.append(metrics)
+                metric = metrics[f"Recall@{config.eval_k}"]
+                if metric > result.best_metric:
+                    result.best_metric = metric
+                    result.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    bad_evals = 0
+                else:
+                    bad_evals += 1
+                    if config.early_stop_patience and bad_evals >= config.early_stop_patience:
+                        break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return result
+
+    # ------------------------------------------------------------------
+    def _step(
+        self, optimizer: Adam, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray
+    ) -> float:
+        pos_scores, neg_scores, reg_tensors = self.model.bpr_forward(users, pos_items, neg_items)
+        loss_fn = bpr_loss if self.config.loss == "bpr" else bpr_loss_paper_eq4
+        loss = loss_fn(pos_scores, neg_scores)
+        if self.config.l2_weight > 0 and reg_tensors:
+            loss = loss + l2_on_batch(reg_tensors, self.config.l2_weight, len(users))
+        auxiliary = self.model.auxiliary_loss(users, pos_items)
+        if auxiliary is not None:
+            loss = loss + auxiliary
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    def _validate(self) -> Dict[str, float]:
+        self.model.eval()
+        if len(self.dataset.validation) == 0:
+            raise ValueError("validation tracking enabled but the validation split is empty")
+        return evaluate(self.model, self.dataset, split="validation", ks=(self.config.eval_k,))
+
+
+def train_model(
+    model: Recommender, dataset: Dataset, config: Optional[TrainConfig] = None
+) -> TrainResult:
+    """Convenience one-liner used by examples and benchmarks."""
+    return Trainer(model, dataset, config).fit()

@@ -1,0 +1,135 @@
+"""Tests for CWTP entropy analysis and price-category heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cwtp_entropy,
+    cwtp_per_user,
+    entropy_histogram,
+    entropy_of_values,
+    render_ascii,
+    row_concentration,
+    split_users_by_consistency,
+    user_price_category_heatmap,
+)
+from repro.data import Dataset, InteractionTable, ItemCatalog, SyntheticConfig, generate
+
+
+def make_dataset():
+    """2 users; items span 2 categories x 3 price levels."""
+    catalog = ItemCatalog(
+        raw_prices=[1, 2, 3, 4, 5, 6],
+        categories=[0, 0, 0, 1, 1, 1],
+        price_levels=[0, 1, 2, 0, 1, 2],
+        n_categories=2,
+        n_price_levels=3,
+    )
+    # user 0: cat0 up to level 2, cat1 up to level 2 (same CWTP -> entropy 0)
+    # user 1: cat0 level 0, cat1 level 2 (different CWTPs -> entropy ln 2)
+    train = InteractionTable(
+        [0, 0, 0, 1, 1],
+        [1, 2, 5, 0, 5],
+        np.arange(5, dtype=float),
+    )
+    empty = InteractionTable([], [], [])
+    return Dataset("cwtp", 2, 6, catalog, train, empty, empty)
+
+
+class TestCWTP:
+    def test_per_user_max_levels(self):
+        cwtp = cwtp_per_user(make_dataset())
+        assert cwtp[0] == {0: 2, 1: 2}
+        assert cwtp[1] == {0: 0, 1: 2}
+
+    def test_entropy_consistent_user_zero(self):
+        entropy = cwtp_entropy(make_dataset())
+        assert entropy[0] == pytest.approx(0.0)
+
+    def test_entropy_inconsistent_user(self):
+        entropy = cwtp_entropy(make_dataset())
+        assert entropy[1] == pytest.approx(np.log(2.0))
+
+    def test_entropy_of_values_uniform(self):
+        assert entropy_of_values(np.array([1, 2, 3])) == pytest.approx(np.log(3.0))
+
+    def test_entropy_of_values_constant(self):
+        assert entropy_of_values(np.array([5, 5, 5])) == 0.0
+
+    def test_entropy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_of_values(np.array([]))
+
+    def test_entropy_bounded_by_log_categories(self):
+        """Paper footnote: entropy in [0, log C_u]."""
+        config = SyntheticConfig(n_users=80, n_items=120, n_categories=10, interactions_per_user=12, seed=9)
+        ds, __ = generate(config)
+        cwtp = cwtp_per_user(ds)
+        entropies = cwtp_entropy(ds)
+        for user, entropy in entropies.items():
+            assert 0.0 <= entropy <= np.log(len(cwtp[user])) + 1e-12
+
+    def test_histogram_density(self):
+        config = SyntheticConfig(n_users=80, n_items=120, n_categories=10, interactions_per_user=12, seed=9)
+        ds, __ = generate(config)
+        edges, density = entropy_histogram(ds, bins=10)
+        assert len(edges) == 11
+        assert len(density) == 10
+        widths = np.diff(edges)
+        assert (density * widths).sum() == pytest.approx(1.0)
+
+    def test_split_users_partition(self):
+        consistent, inconsistent = split_users_by_consistency(make_dataset())
+        assert set(consistent) | set(inconsistent) == {0, 1}
+        assert not set(consistent) & set(inconsistent)
+        assert 0 in consistent
+        assert 1 in inconsistent
+
+
+class TestHeatmap:
+    def test_counts(self):
+        heatmap = user_price_category_heatmap(make_dataset(), 0, normalize=False)
+        assert heatmap.shape == (2, 3)
+        assert heatmap[0, 1] == 1.0  # item 1 (cat0 level1)
+        assert heatmap[0, 2] == 1.0  # item 2
+        assert heatmap[1, 2] == 1.0  # item 5
+
+    def test_normalized_max_is_one(self):
+        heatmap = user_price_category_heatmap(make_dataset(), 0)
+        assert heatmap.max() == 1.0
+
+    def test_out_of_range_user(self):
+        with pytest.raises(IndexError):
+            user_price_category_heatmap(make_dataset(), 99)
+
+    def test_row_concentration_single_peak(self):
+        heatmap = np.array([[0.0, 3.0, 0.0], [2.0, 0.0, 0.0]])
+        assert row_concentration(heatmap) == 1.0
+
+    def test_row_concentration_spread(self):
+        heatmap = np.array([[1.0, 1.0, 0.0]])
+        assert row_concentration(heatmap) == pytest.approx(0.5)
+
+    def test_row_concentration_empty_rejected(self):
+        with pytest.raises(ValueError):
+            row_concentration(np.zeros((2, 3)))
+
+    def test_render_ascii(self):
+        art = render_ascii(np.array([[0.0, 1.0], [0.5, 0.0]]))
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("|") and lines[0].endswith("|")
+
+    def test_synthetic_heatmaps_concentrate(self):
+        """The planted signal should produce Fig-2-style concentration."""
+        config = SyntheticConfig(
+            n_users=50, n_items=150, n_categories=6, n_price_levels=8,
+            interactions_per_user=15, price_sensitivity=4.0, price_match_width=0.08, seed=13,
+        )
+        ds, __ = generate(config)
+        concentrations = []
+        for user in range(20):
+            heatmap = user_price_category_heatmap(ds, user, normalize=False)
+            if heatmap.sum() > 0:
+                concentrations.append(row_concentration(heatmap))
+        assert np.mean(concentrations) > 0.55

@@ -1,0 +1,202 @@
+"""Tests for the PUP model and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PUP,
+    pup_full,
+    pup_minus,
+    pup_with_category,
+    pup_with_price,
+    pup_without_price_and_category,
+)
+from repro.core.decoder import pairwise_interaction_numpy
+from repro.data import SyntheticConfig, generate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(
+        n_users=40, n_items=50, n_categories=4, n_price_levels=3,
+        interactions_per_user=8, seed=11,
+    )
+    return generate(config)[0]
+
+
+def make_model(dataset, **kwargs):
+    defaults = dict(global_dim=12, category_dim=4, dropout=0.0, rng=np.random.default_rng(0))
+    defaults.update(kwargs)
+    return PUP(dataset, **defaults)
+
+
+class TestConstruction:
+    def test_two_branch_by_default(self, dataset):
+        model = make_model(dataset)
+        assert model.two_branch
+        assert model.category_encoder is not None
+
+    def test_invalid_dims(self, dataset):
+        with pytest.raises(ValueError):
+            make_model(dataset, global_dim=0)
+        with pytest.raises(ValueError):
+            make_model(dataset, category_dim=0)
+
+    def test_invalid_alpha(self, dataset):
+        with pytest.raises(ValueError):
+            make_model(dataset, alpha=-1.0)
+
+    def test_single_branch_gets_full_budget(self, dataset):
+        model = make_model(dataset, use_price=True, use_category=False)
+        assert not model.two_branch
+        assert model.global_encoder.dim == 16  # 12 + 4
+
+    def test_branch_graphs_respect_flags(self, dataset):
+        model = make_model(dataset, use_price=False, use_category=True)
+        assert not model.global_graph.include_prices
+        assert model.global_graph.include_categories
+
+
+class TestScoring:
+    def test_score_pairs_shape(self, dataset):
+        model = make_model(dataset)
+        scores = model.score_pairs(np.array([0, 1, 2]), np.array([3, 4, 5]))
+        assert scores.shape == (3,)
+
+    def test_pair_shape_mismatch(self, dataset):
+        model = make_model(dataset)
+        with pytest.raises(ValueError):
+            model.score_pairs(np.array([0, 1]), np.array([0]))
+
+    def test_predict_matches_score_pairs(self, dataset):
+        """The vectorized eval path must agree with the training decoder."""
+        model = make_model(dataset)
+        model.eval()
+        users = np.array([0, 3, 7])
+        matrix = model.predict_scores(users)
+        for row, user in enumerate(users):
+            items = np.arange(dataset.n_items)
+            pair_scores = model.score_pairs(np.full(dataset.n_items, user), items)
+            np.testing.assert_allclose(matrix[row], pair_scores.data, atol=1e-9)
+
+    @pytest.mark.parametrize("use_price,use_category", [(True, False), (False, True), (False, False)])
+    def test_predict_matches_score_pairs_slim(self, dataset, use_price, use_category):
+        model = make_model(dataset, use_price=use_price, use_category=use_category)
+        model.eval()
+        users = np.array([1, 5])
+        matrix = model.predict_scores(users)
+        for row, user in enumerate(users):
+            items = np.arange(dataset.n_items)
+            pair_scores = model.score_pairs(np.full(dataset.n_items, user), items)
+            np.testing.assert_allclose(matrix[row], pair_scores.data, atol=1e-9)
+
+    def test_alpha_zero_disables_category_branch(self, dataset):
+        model_a = make_model(dataset, alpha=0.0)
+        model_b = make_model(dataset, alpha=2.0)
+        model_b.load_state_dict(model_a.state_dict())
+        model_a.eval(), model_b.eval()
+        users = np.array([0])
+        sa = model_a.predict_scores(users)
+        sb = model_b.predict_scores(users)
+        # alpha scales the (shared-weights) category branch; outputs differ
+        assert not np.allclose(sa, sb)
+        # and with alpha=0 the global branch alone determines scores:
+        global_only = make_model(dataset, alpha=0.0)
+        global_only.load_state_dict(model_a.state_dict())
+        global_only.eval()
+        np.testing.assert_allclose(global_only.predict_scores(users), sa)
+
+    def test_decoder_formula_global_branch(self, dataset):
+        """s_g must equal e_u·e_i + e_u·e_p + e_i·e_p on propagated tables."""
+        model = make_model(dataset, alpha=0.0)
+        model.eval()
+        table = model.global_encoder.propagate_inference()
+        user, item = 2, 9
+        e_u = table[user]
+        e_i = table[model._item_nodes[item]]
+        e_p = table[model._price_nodes_of_item[item]]
+        expected = e_u @ e_i + e_u @ e_p + e_i @ e_p
+        got = model.predict_scores(np.array([user]))[0, item]
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_decoder_formula_category_branch(self, dataset):
+        model = make_model(dataset, alpha=1.0)
+        model.eval()
+        g = model.global_encoder.propagate_inference()
+        c = model.category_encoder.propagate_inference()
+        user, item = 4, 13
+        s_global = pairwise_interaction_numpy(
+            [g[user][None], g[model._item_nodes[item]][None], g[model._price_nodes_of_item[item]][None]]
+        )[0]
+        s_cat = pairwise_interaction_numpy(
+            [c[user][None], c[model._category_nodes_of_item[item]][None], c[model._price_nodes_of_item[item]][None]]
+        )[0]
+        got = model.predict_scores(np.array([user]))[0, item]
+        np.testing.assert_allclose(got, s_global + s_cat, atol=1e-9)
+
+
+class TestTraining:
+    def test_bpr_forward_returns_reg_tensors(self, dataset):
+        model = make_model(dataset)
+        pos, neg, reg = model.bpr_forward(np.array([0, 1]), np.array([2, 3]), np.array([4, 5]))
+        assert pos.shape == (2,)
+        assert neg.shape == (2,)
+        # two branches * (3 features) * (pos+neg) = 12 tensors
+        assert len(reg) == 12
+
+    def test_gradients_flow_to_both_branches(self, dataset):
+        model = make_model(dataset)
+        pos, neg, __ = model.bpr_forward(np.array([0]), np.array([1]), np.array([2]))
+        (neg - pos).softplus().mean().backward()
+        assert model.global_encoder.embedding.weight.grad is not None
+        assert model.category_encoder.embedding.weight.grad is not None
+
+    def test_one_step_reduces_loss(self, dataset):
+        from repro.nn import Adam, bpr_loss
+
+        model = make_model(dataset)
+        users = np.arange(20) % dataset.n_users
+        pos = np.arange(20) % dataset.n_items
+        neg = (np.arange(20) + 7) % dataset.n_items
+        opt = Adam(model.parameters(), lr=0.05)
+        losses = []
+        for __ in range(5):
+            p, n, __r = model.bpr_forward(users, pos, neg)
+            loss = bpr_loss(p, n)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestVariants:
+    def test_factory_names(self, dataset):
+        rng = np.random.default_rng(0)
+        assert pup_full(dataset, rng=rng).name == "PUP"
+        assert pup_with_price(dataset, rng=rng).name == "PUP w/ p"
+        assert pup_with_category(dataset, rng=rng).name == "PUP w/ c"
+        assert pup_without_price_and_category(dataset, rng=rng).name == "PUP w/o c,p"
+        assert pup_minus(dataset, rng=rng).name == "PUP-"
+
+    def test_variant_flags(self, dataset):
+        rng = np.random.default_rng(0)
+        assert pup_with_price(dataset, rng=rng).use_price
+        assert not pup_with_price(dataset, rng=rng).use_category
+        assert not pup_without_price_and_category(dataset, rng=rng).use_price
+
+    def test_without_cp_is_pure_dot(self, dataset):
+        """PUP w/o c,p must reduce to GCN-encoded dot-product scoring."""
+        model = pup_without_price_and_category(
+            dataset, rng=np.random.default_rng(0), dropout=0.0
+        )
+        model.eval()
+        table = model.global_encoder.propagate_inference()
+        users = np.array([0, 1])
+        expected = table[users] @ table[model._item_nodes].T
+        np.testing.assert_allclose(model.predict_scores(users), expected, atol=1e-12)
+
+    def test_pup_minus_is_with_price(self, dataset):
+        rng = np.random.default_rng(0)
+        minus = pup_minus(dataset, rng=rng)
+        assert minus.use_price and not minus.use_category

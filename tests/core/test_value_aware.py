@@ -1,0 +1,122 @@
+"""Tests for the value-aware (revenue) reranking extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValueAwareReranker, realized_revenue_at_k
+from repro.core.base import Recommender
+from repro.data import Dataset, InteractionTable, ItemCatalog
+
+
+class FixedModel(Recommender):
+    name = "fixed"
+    trainable = False
+
+    def __init__(self, dataset, matrix):
+        super().__init__(dataset)
+        self._matrix = np.asarray(matrix, dtype=np.float64)
+
+    def predict_scores(self, users):
+        return self._matrix[np.asarray(users, dtype=np.int64)]
+
+
+def make_dataset():
+    """2 users, 4 items with very different prices."""
+    catalog = ItemCatalog(
+        raw_prices=[1.0, 10.0, 100.0, 1000.0],
+        categories=[0, 0, 0, 0],
+        price_levels=[0, 1, 2, 3],
+        n_categories=1,
+        n_price_levels=4,
+    )
+    train = InteractionTable([0], [0], [0.0])
+    test = InteractionTable([0, 1], [2, 3], [1.0, 2.0])
+    return Dataset("va", 2, 4, catalog, train, InteractionTable([], [], []), test)
+
+
+class TestValueAwareReranker:
+    def test_validation(self):
+        ds = make_dataset()
+        model = FixedModel(ds, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            ValueAwareReranker(model, ds, relevance_weight=1.5)
+        with pytest.raises(ValueError):
+            ValueAwareReranker(model, ds, temperature=0.0)
+
+    def test_probabilities_sum_to_one(self):
+        ds = make_dataset()
+        model = FixedModel(ds, np.random.default_rng(0).normal(size=(2, 4)))
+        reranker = ValueAwareReranker(model, ds)
+        probs = reranker.purchase_probabilities([0, 1])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_train_positives_excluded(self):
+        ds = make_dataset()
+        model = FixedModel(ds, np.full((2, 4), 5.0))
+        reranker = ValueAwareReranker(model, ds)
+        probs = reranker.purchase_probabilities([0])
+        assert probs[0, 0] == pytest.approx(0.0, abs=1e-12)  # item 0 is train positive
+
+    def test_pure_relevance_matches_model_order(self):
+        ds = make_dataset()
+        scores = np.array([[0.0, 3.0, 2.0, 1.0], [0.0, 1.0, 2.0, 3.0]])
+        model = FixedModel(ds, scores)
+        reranker = ValueAwareReranker(model, ds, relevance_weight=1.0)
+        rankings = reranker.rerank([1], k=4)
+        np.testing.assert_array_equal(rankings[1], [3, 2, 1, 0])
+
+    def test_pure_revenue_prefers_expensive(self):
+        ds = make_dataset()
+        # Equal scores -> equal probabilities -> revenue ranks by price.
+        model = FixedModel(ds, np.zeros((2, 4)))
+        reranker = ValueAwareReranker(model, ds, relevance_weight=0.0)
+        rankings = reranker.rerank([1], k=4)
+        np.testing.assert_array_equal(rankings[1], [3, 2, 1, 0])
+
+    def test_blending_moves_expensive_items_up(self):
+        ds = make_dataset()
+        # user 1 slightly prefers the cheapest item; revenue pulls to item 3.
+        scores = np.array([[0.0] * 4, [1.0, 0.9, 0.8, 0.95]])
+        model = FixedModel(ds, scores)
+        relevance = ValueAwareReranker(model, ds, relevance_weight=1.0).rerank([1], k=4)[1]
+        blended = ValueAwareReranker(model, ds, relevance_weight=0.3).rerank([1], k=4)[1]
+        assert list(relevance).index(3) >= list(blended).index(3)
+
+    def test_expected_revenue_shape(self):
+        ds = make_dataset()
+        model = FixedModel(ds, np.zeros((2, 4)))
+        revenue = ValueAwareReranker(model, ds).expected_revenue([0, 1])
+        assert revenue.shape == (2, 4)
+        assert (revenue >= 0).all()
+
+    def test_invalid_k(self):
+        ds = make_dataset()
+        model = FixedModel(ds, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            ValueAwareReranker(model, ds).rerank([0], k=0)
+
+
+class TestRealizedRevenue:
+    def test_counts_only_hits(self):
+        ds = make_dataset()
+        # user 0's test item is 2 (price 100); user 1's is 3 (price 1000).
+        rankings = {0: np.array([2, 1]), 1: np.array([0, 1])}
+        revenue = realized_revenue_at_k(ds, rankings, k=2)
+        # user 0 captured 100; user 1 captured 0 -> mean 50.
+        assert revenue == pytest.approx(50.0)
+
+    def test_k_truncation(self):
+        ds = make_dataset()
+        rankings = {0: np.array([1, 2])}
+        assert realized_revenue_at_k(ds, rankings, k=1) == 0.0
+        assert realized_revenue_at_k(ds, rankings, k=2) == pytest.approx(100.0)
+
+    def test_no_evaluable_users(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            realized_revenue_at_k(ds, {}, k=1)
+
+    def test_invalid_k(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            realized_revenue_at_k(ds, {0: np.array([0])}, k=0)

@@ -1,0 +1,145 @@
+"""Tests for uniform and rank-based price quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import quantize, rank_quantize, uniform_quantize
+
+
+class TestUniform:
+    def test_paper_example(self):
+        # Mobile phone at 1000 in range [200, 3000] with 10 levels -> level 2.
+        prices = np.array([200.0, 1000.0, 3000.0])
+        categories = np.zeros(3, dtype=int)
+        levels = uniform_quantize(prices, categories, 10)
+        assert levels[1] == 2
+
+    def test_max_price_clipped_to_top_level(self):
+        levels = uniform_quantize(np.array([0.0, 100.0]), np.zeros(2, dtype=int), 10)
+        assert levels[1] == 9
+
+    def test_min_price_level_zero(self):
+        levels = uniform_quantize(np.array([5.0, 10.0]), np.zeros(2, dtype=int), 4)
+        assert levels[0] == 0
+
+    def test_constant_price_category(self):
+        levels = uniform_quantize(np.array([7.0, 7.0, 7.0]), np.zeros(3, dtype=int), 10)
+        np.testing.assert_array_equal(levels, 0)
+
+    def test_per_category_independent_ranges(self):
+        prices = np.array([1.0, 2.0, 100.0, 200.0])
+        categories = np.array([0, 0, 1, 1])
+        levels = uniform_quantize(prices, categories, 2)
+        np.testing.assert_array_equal(levels, [0, 1, 0, 1])
+
+    def test_global_range(self):
+        prices = np.array([1.0, 2.0, 100.0, 200.0])
+        categories = np.array([0, 0, 1, 1])
+        levels = uniform_quantize(prices, categories, 2, per_category=False)
+        np.testing.assert_array_equal(levels, [0, 0, 0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.array([1.0]), np.array([0, 1]), 4)
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.array([-1.0]), np.array([0]), 4)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.array([1.0]), np.array([0]), 0)
+
+    def test_empty(self):
+        levels = uniform_quantize(np.array([]), np.array([]), 4)
+        assert len(levels) == 0
+
+    def test_skewed_distribution_crowds_low_levels(self):
+        # Heavy tail: most items end up in the bottom levels — the weakness
+        # rank quantization fixes (Table IV).
+        rng = np.random.default_rng(0)
+        prices = rng.lognormal(0.0, 1.5, size=2000)
+        categories = np.zeros(2000, dtype=int)
+        levels = uniform_quantize(prices, categories, 10)
+        assert (levels == 0).mean() > 0.5
+
+
+class TestRank:
+    def test_balanced_levels(self):
+        rng = np.random.default_rng(0)
+        prices = rng.lognormal(0.0, 1.5, size=2000)
+        categories = np.zeros(2000, dtype=int)
+        levels = rank_quantize(prices, categories, 10)
+        counts = np.bincount(levels, minlength=10)
+        assert counts.min() > 150  # near-uniform occupancy
+
+    def test_monotone_in_price(self):
+        prices = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        categories = np.zeros(5, dtype=int)
+        levels = rank_quantize(prices, categories, 5)
+        order = np.argsort(prices)
+        assert (np.diff(levels[order]) >= 0).all()
+
+    def test_ties_share_level(self):
+        prices = np.array([1.0, 1.0, 1.0, 9.0])
+        categories = np.zeros(4, dtype=int)
+        levels = rank_quantize(prices, categories, 4)
+        assert levels[0] == levels[1] == levels[2]
+
+    def test_single_item_category(self):
+        levels = rank_quantize(np.array([42.0]), np.array([0]), 10)
+        assert levels[0] == 0
+
+    def test_per_category(self):
+        prices = np.array([1.0, 2.0, 3.0, 100.0])
+        categories = np.array([0, 0, 1, 1])
+        levels = rank_quantize(prices, categories, 2)
+        np.testing.assert_array_equal(levels, [0, 1, 0, 1])
+
+
+class TestDispatch:
+    def test_uniform_dispatch(self):
+        prices = np.array([1.0, 2.0])
+        categories = np.zeros(2, dtype=int)
+        np.testing.assert_array_equal(
+            quantize(prices, categories, 2, "uniform"),
+            uniform_quantize(prices, categories, 2),
+        )
+
+    def test_rank_dispatch(self):
+        prices = np.array([1.0, 2.0])
+        categories = np.zeros(2, dtype=int)
+        np.testing.assert_array_equal(
+            quantize(prices, categories, 2, "rank"),
+            rank_quantize(prices, categories, 2),
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), np.array([0]), 2, "quantile")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=20),
+)
+def test_levels_always_in_range(prices, n_levels):
+    prices = np.array(prices)
+    categories = np.zeros(len(prices), dtype=int)
+    for method in ("uniform", "rank"):
+        levels = quantize(prices, categories, n_levels, method)
+        assert levels.min() >= 0
+        assert levels.max() < n_levels
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=2, max_size=30))
+def test_uniform_monotone_property(prices):
+    prices = np.array(prices)
+    categories = np.zeros(len(prices), dtype=int)
+    levels = uniform_quantize(prices, categories, 7)
+    order = np.argsort(prices, kind="stable")
+    assert (np.diff(levels[order]) >= 0).all()

@@ -1,0 +1,173 @@
+"""Tests for temporal splitting, k-core filtering and negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InteractionTable,
+    NegativeSampler,
+    k_core_filter,
+    temporal_split,
+)
+from repro.data import Dataset, ItemCatalog
+
+
+class TestTemporalSplit:
+    def make_table(self, n=100):
+        rng = np.random.default_rng(0)
+        return InteractionTable(
+            rng.integers(0, 10, n), rng.integers(0, 20, n), rng.permutation(n).astype(float)
+        )
+
+    def test_fractions(self):
+        train, valid, test = temporal_split(self.make_table(100))
+        assert len(train) == 60
+        assert len(valid) == 20
+        assert len(test) == 20
+
+    def test_chronological_order(self):
+        train, valid, test = temporal_split(self.make_table(100))
+        assert train.timestamps.max() <= valid.timestamps.min()
+        assert valid.timestamps.max() <= test.timestamps.min()
+
+    def test_custom_fractions(self):
+        train, valid, test = temporal_split(self.make_table(100), 0.8, 0.1)
+        assert len(train) == 80
+        assert len(valid) == 10
+        assert len(test) == 10
+
+    def test_invalid_fractions(self):
+        table = self.make_table(10)
+        with pytest.raises(ValueError):
+            temporal_split(table, 0.0, 0.2)
+        with pytest.raises(ValueError):
+            temporal_split(table, 0.6, 0.0)
+        with pytest.raises(ValueError):
+            temporal_split(table, 0.8, 0.2)
+
+    def test_no_events_lost(self):
+        table = self.make_table(97)
+        train, valid, test = temporal_split(table)
+        assert len(train) + len(valid) + len(test) == 97
+
+
+class TestKCore:
+    def test_removes_sparse_users_and_items(self):
+        # user 0 interacts with items 0,1; user 1 with 0,1; user 2 with item 2 once.
+        table = InteractionTable(
+            [0, 0, 1, 1, 2], [0, 1, 0, 1, 2], [0.0, 1.0, 2.0, 3.0, 4.0]
+        )
+        filtered, kept_users, kept_items = k_core_filter(table, k=2)
+        assert len(filtered) == 4
+        np.testing.assert_array_equal(kept_users, [0, 1])
+        np.testing.assert_array_equal(kept_items, [0, 1])
+
+    def test_reindexes_contiguously(self):
+        table = InteractionTable(
+            [5, 5, 9, 9], [3, 7, 3, 7], [0.0, 1.0, 2.0, 3.0]
+        )
+        filtered, kept_users, kept_items = k_core_filter(table, k=2)
+        assert set(filtered.users) == {0, 1}
+        assert set(filtered.items) == {0, 1}
+        np.testing.assert_array_equal(kept_users, [5, 9])
+        np.testing.assert_array_equal(kept_items, [3, 7])
+
+    def test_cascading_removal(self):
+        # Removing user 2 drops item 2 below threshold, which drops user 1's count.
+        table = InteractionTable(
+            [0, 0, 1, 1, 2], [0, 1, 0, 2, 2], [0.0] * 5
+        )
+        filtered, __, __ = k_core_filter(table, k=2)
+        # Fixed point: users 0,1 on items 0... user1 then has only item0 -> dropped,
+        # then item1 has only user0 -> dropped, user0 left with item0 only -> dropped.
+        assert len(filtered) == 0
+
+    def test_k1_keeps_everything(self):
+        table = InteractionTable([0, 1], [0, 1], [0.0, 1.0])
+        filtered, __, __ = k_core_filter(table, k=1)
+        assert len(filtered) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_core_filter(InteractionTable([0], [0], [0.0]), k=0)
+
+
+def make_sampler_dataset():
+    n_users, n_items = 6, 10
+    rng = np.random.default_rng(1)
+    users = np.repeat(np.arange(n_users), 4)
+    items = np.concatenate([rng.choice(n_items, 4, replace=False) for _ in range(n_users)])
+    catalog = ItemCatalog(
+        raw_prices=np.linspace(1, 10, n_items),
+        categories=np.zeros(n_items, dtype=int),
+        price_levels=np.zeros(n_items, dtype=int),
+        n_categories=1,
+        n_price_levels=1,
+    )
+    table = InteractionTable(users, items, np.arange(len(users), dtype=float))
+    empty = InteractionTable([], [], [])
+    return Dataset("s", n_users, n_items, catalog, table, empty, empty)
+
+
+class TestNegativeSampler:
+    def test_negatives_never_positive(self):
+        ds = make_sampler_dataset()
+        sampler = NegativeSampler(ds, np.random.default_rng(0))
+        pos = ds.train_positive_sets()
+        for __ in range(20):
+            users = np.random.default_rng(2).integers(0, ds.n_users, 50)
+            negs = sampler.sample_negatives(users)
+            for user, neg in zip(users, negs):
+                assert neg not in pos[int(user)]
+
+    def test_epoch_covers_all_positives(self):
+        ds = make_sampler_dataset()
+        sampler = NegativeSampler(ds, np.random.default_rng(0))
+        seen = set()
+        total = 0
+        for users, pos, neg in sampler.epoch_batches(batch_size=7):
+            assert len(users) == len(pos) == len(neg)
+            total += len(users)
+            seen.update(zip(users.tolist(), pos.tolist()))
+        assert total == len(ds.train)
+        expected = set(zip(ds.train.users.tolist(), ds.train.items.tolist()))
+        assert seen == expected
+
+    def test_rate_repeats_positives(self):
+        ds = make_sampler_dataset()
+        sampler = NegativeSampler(ds, np.random.default_rng(0), rate=3)
+        total = sum(len(u) for u, __, __ in sampler.epoch_batches(batch_size=64))
+        assert total == 3 * len(ds.train)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(make_sampler_dataset(), np.random.default_rng(0), rate=0)
+
+    def test_invalid_batch_size(self):
+        sampler = NegativeSampler(make_sampler_dataset(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            next(sampler.epoch_batches(batch_size=0))
+
+    def test_user_with_all_items_rejected(self):
+        catalog = ItemCatalog(
+            raw_prices=[1.0, 2.0],
+            categories=[0, 0],
+            price_levels=[0, 0],
+            n_categories=1,
+            n_price_levels=1,
+        )
+        table = InteractionTable([0, 0], [0, 1], [0.0, 1.0])
+        empty = InteractionTable([], [], [])
+        ds = Dataset("full", 1, 2, catalog, table, empty, empty)
+        with pytest.raises(ValueError):
+            NegativeSampler(ds, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self):
+        ds = make_sampler_dataset()
+        s1 = NegativeSampler(ds, np.random.default_rng(7))
+        s2 = NegativeSampler(ds, np.random.default_rng(7))
+        b1 = list(s1.epoch_batches(batch_size=8))
+        b2 = list(s2.epoch_batches(batch_size=8))
+        for (u1, p1, n1), (u2, p2, n2) in zip(b1, b2):
+            np.testing.assert_array_equal(u1, u2)
+            np.testing.assert_array_equal(n1, n2)

@@ -1,0 +1,162 @@
+"""Tests for the synthetic dataset generators and their planted price signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticConfig,
+    clear_cache,
+    generate,
+    load_dataset,
+    make_amazon_like,
+    make_beibei_like,
+    make_yelp_like,
+)
+
+
+class TestConfigValidation:
+    def test_too_few_users(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_users=1)
+
+    def test_too_few_interactions(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(interactions_per_user=2)
+
+    def test_unknown_price_distribution(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(price_distribution="exotic")
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def small(self):
+        config = SyntheticConfig(
+            n_users=60, n_items=80, n_categories=6, n_price_levels=5,
+            interactions_per_user=12, seed=42,
+        )
+        return generate(config)
+
+    def test_shapes(self, small):
+        dataset, truth = small
+        assert dataset.n_users == 60
+        assert dataset.n_items == 80
+        assert truth.user_wtp.shape == (60, 6)
+        assert truth.item_price_percentile.shape == (80,)
+
+    def test_split_sizes(self, small):
+        dataset, __ = small
+        total = 60 * 12
+        assert len(dataset.train) == int(total * 0.6)
+        assert len(dataset.train) + len(dataset.validation) + len(dataset.test) == total
+
+    def test_every_category_has_items(self, small):
+        dataset, __ = small
+        assert set(dataset.item_categories) == set(range(6))
+
+    def test_price_levels_in_range(self, small):
+        dataset, __ = small
+        assert dataset.item_price_levels.min() >= 0
+        assert dataset.item_price_levels.max() < 5
+
+    def test_deterministic(self):
+        config = SyntheticConfig(n_users=20, n_items=30, interactions_per_user=5, seed=7)
+        d1, t1 = generate(config)
+        d2, t2 = generate(config)
+        np.testing.assert_array_equal(d1.train.users, d2.train.users)
+        np.testing.assert_array_equal(d1.train.items, d2.train.items)
+        np.testing.assert_allclose(t1.user_wtp, t2.user_wtp)
+
+    def test_different_seeds_differ(self):
+        base = dict(n_users=20, n_items=30, interactions_per_user=5)
+        d1, __ = generate(SyntheticConfig(seed=1, **base))
+        d2, __ = generate(SyntheticConfig(seed=2, **base))
+        assert not np.array_equal(d1.train.items, d2.train.items)
+
+    def test_wtp_in_unit_interval(self, small):
+        __, truth = small
+        assert truth.user_wtp.min() > 0.0
+        assert truth.user_wtp.max() < 1.0
+
+    def test_no_duplicate_items_per_user(self, small):
+        dataset, __ = small
+        users = np.concatenate([dataset.train.users, dataset.validation.users, dataset.test.users])
+        items = np.concatenate([dataset.train.items, dataset.validation.items, dataset.test.items])
+        for user in range(dataset.n_users):
+            chosen = items[users == user]
+            assert len(chosen) == len(set(chosen.tolist()))
+
+
+class TestPlantedPriceSignal:
+    """The behavioural model must actually encode price awareness."""
+
+    def test_purchases_concentrate_near_wtp(self):
+        config = SyntheticConfig(
+            n_users=100, n_items=200, n_categories=5, n_price_levels=10,
+            interactions_per_user=20, price_sensitivity=4.0, seed=3,
+        )
+        dataset, truth = generate(config)
+        users = dataset.train.users
+        items = dataset.train.items
+        cats = dataset.item_categories[items]
+        gap = np.abs(truth.item_price_percentile[items] - truth.user_wtp[users, cats])
+        # Purchased items sit close to the user's category WTP...
+        rng = np.random.default_rng(0)
+        random_items = rng.integers(0, config.n_items, size=len(items))
+        random_cats = dataset.item_categories[random_items]
+        random_gap = np.abs(
+            truth.item_price_percentile[random_items] - truth.user_wtp[users, random_cats]
+        )
+        assert gap.mean() < 0.7 * random_gap.mean()
+
+    def test_inconsistency_knob_raises_wtp_spread(self):
+        base = dict(n_users=80, n_items=100, n_categories=8, interactions_per_user=10)
+        __, low = generate(SyntheticConfig(inconsistency=0.05, seed=5, **base))
+        __, high = generate(SyntheticConfig(inconsistency=0.6, seed=5, **base))
+        assert high.user_wtp.std(axis=1).mean() > low.user_wtp.std(axis=1).mean()
+
+
+class TestNamedDatasets:
+    def test_yelp_like_shape(self):
+        dataset, __ = make_yelp_like(scale=0.25)
+        assert dataset.name == "yelp-like"
+        assert dataset.n_price_levels == 4
+
+    def test_beibei_like_shape(self):
+        dataset, __ = make_beibei_like(scale=0.25)
+        assert dataset.n_price_levels == 10
+        assert dataset.n_categories == 16
+
+    def test_amazon_like_lognormal_prices(self):
+        dataset, __ = make_amazon_like(scale=0.25)
+        assert dataset.n_categories == 5
+        prices = dataset.catalog.raw_prices
+        # Lognormal: mean well above median (heavy right tail).
+        assert prices.mean() > 1.2 * np.median(prices)
+
+    def test_amazon_price_levels_param(self):
+        dataset, __ = make_amazon_like(scale=0.25, n_price_levels=3)
+        assert dataset.n_price_levels == 3
+
+
+class TestRegistry:
+    def test_load_and_cache(self):
+        clear_cache()
+        d1, __ = load_dataset("yelp", scale=0.25)
+        d2, __ = load_dataset("yelp", scale=0.25)
+        assert d1 is d2
+
+    def test_distinct_keys_not_shared(self):
+        clear_cache()
+        d1, __ = load_dataset("yelp", scale=0.25)
+        d2, __ = load_dataset("yelp", scale=0.25, seed=9)
+        assert d1 is not d2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix")
+
+    def test_available(self):
+        from repro.data import available_datasets
+
+        assert available_datasets() == ["amazon", "beibei", "yelp"]

@@ -1,0 +1,118 @@
+"""Tests for the extended metrics and price-aware diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, InteractionTable, ItemCatalog
+from repro.eval import (
+    average_precision_at_k,
+    category_coverage,
+    evaluate_extended,
+    hit_rate_at_k,
+    mrr_at_k,
+    precision_at_k,
+    preferred_price_level,
+    price_calibration_error,
+    price_level_coverage,
+)
+
+
+def make_dataset():
+    catalog = ItemCatalog(
+        raw_prices=[1, 2, 3, 4, 5, 6],
+        categories=[0, 0, 1, 1, 2, 2],
+        price_levels=[0, 1, 0, 1, 0, 1],
+        n_categories=3,
+        n_price_levels=2,
+    )
+    train = InteractionTable([0, 0, 1], [0, 2, 1], [0.0, 1.0, 2.0])
+    empty = InteractionTable([], [], [])
+    return Dataset("ext", 2, 6, catalog, train, empty, empty)
+
+
+class TestClassicMetrics:
+    def test_precision(self):
+        assert precision_at_k(np.array([1, 2, 3, 4]), {1, 3}, 4) == 0.5
+        assert precision_at_k(np.array([1, 2]), {1}, 2) == 0.5
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k(np.array([5, 1]), {1}, 2) == 1.0
+        assert hit_rate_at_k(np.array([5, 6]), {1}, 2) == 0.0
+
+    def test_mrr_first_position(self):
+        assert mrr_at_k(np.array([1, 2]), {1}, 2) == 1.0
+
+    def test_mrr_second_position(self):
+        assert mrr_at_k(np.array([9, 1]), {1}, 2) == 0.5
+
+    def test_mrr_no_hit(self):
+        assert mrr_at_k(np.array([9, 8]), {1}, 2) == 0.0
+
+    def test_map_perfect(self):
+        assert average_precision_at_k(np.array([1, 2]), {1, 2}, 2) == 1.0
+
+    def test_map_partial(self):
+        # hit at ranks 1 and 3: AP = (1/1 + 2/3)/2
+        got = average_precision_at_k(np.array([1, 9, 2]), {1, 2}, 3)
+        assert got == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    @pytest.mark.parametrize("fn", [precision_at_k, hit_rate_at_k, mrr_at_k, average_precision_at_k])
+    def test_validation(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.array([1]), set(), 1)
+        with pytest.raises(ValueError):
+            fn(np.array([1]), {1}, 0)
+
+    def test_evaluate_extended_keys(self):
+        rankings = {0: np.array([0, 1, 2])}
+        positives = {0: {1}}
+        results = evaluate_extended(rankings, positives, ks=(2,))
+        assert set(results) == {"Precision@2", "HitRate@2", "MRR@2", "MAP@2"}
+
+    def test_evaluate_extended_no_users(self):
+        with pytest.raises(ValueError):
+            evaluate_extended({0: np.array([1])}, {}, ks=(1,))
+
+
+class TestPriceDiagnostics:
+    def test_preferred_price_level(self):
+        ds = make_dataset()
+        # user 0 bought items 0 (level 0) and 2 (level 0) -> mean 0.
+        assert preferred_price_level(ds, 0) == 0.0
+        # user 1 bought item 1 (level 1).
+        assert preferred_price_level(ds, 1) == 1.0
+
+    def test_preferred_price_level_validation(self):
+        ds = make_dataset()
+        with pytest.raises(IndexError):
+            preferred_price_level(ds, 9)
+
+    def test_calibration_error_zero_when_matched(self):
+        ds = make_dataset()
+        # recommend only level-0 items to user 0 (preferred level 0).
+        rankings = {0: np.array([0, 2, 4])}
+        assert price_calibration_error(ds, rankings, k=3) == 0.0
+
+    def test_calibration_error_positive_when_mismatched(self):
+        ds = make_dataset()
+        rankings = {0: np.array([1, 3, 5])}  # all level 1 vs preferred 0
+        assert price_calibration_error(ds, rankings, k=3) == 1.0
+
+    def test_category_coverage(self):
+        ds = make_dataset()
+        rankings = {0: np.array([0, 2, 4])}  # categories 0, 1, 2 -> full coverage
+        assert category_coverage(ds, rankings, k=3) == 1.0
+        rankings = {0: np.array([0, 1])}  # only category 0
+        assert category_coverage(ds, rankings, k=2) == pytest.approx(1 / 3)
+
+    def test_price_level_coverage(self):
+        ds = make_dataset()
+        rankings = {0: np.array([0, 1])}  # levels 0 and 1
+        assert price_level_coverage(ds, rankings, k=2) == 1.0
+
+    def test_empty_rankings_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            category_coverage(ds, {}, k=1)
+        with pytest.raises(ValueError):
+            price_level_coverage(ds, {}, k=1)

@@ -1,0 +1,90 @@
+"""Tests for Recall@K / NDCG@K."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import mean_metric, ndcg_at_k, recall_at_k
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k(np.array([1, 2, 3]), {1, 2, 3}, 3) == 1.0
+
+    def test_zero(self):
+        assert recall_at_k(np.array([4, 5, 6]), {1, 2}, 3) == 0.0
+
+    def test_partial(self):
+        assert recall_at_k(np.array([1, 9, 8]), {1, 2}, 3) == 0.5
+
+    def test_k_truncates(self):
+        assert recall_at_k(np.array([9, 9, 1]), {1}, 2) == 0.0
+        assert recall_at_k(np.array([9, 9, 1]), {1}, 3) == 1.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1]), set(), 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1]), {1}, 0)
+
+
+class TestNDCG:
+    def test_perfect_is_one(self):
+        assert ndcg_at_k(np.array([1, 2, 3]), {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert ndcg_at_k(np.array([4, 5]), {1}, 2) == 0.0
+
+    def test_rank_position_matters(self):
+        first = ndcg_at_k(np.array([1, 9]), {1}, 2)
+        second = ndcg_at_k(np.array([9, 1]), {1}, 2)
+        assert first > second
+
+    def test_known_value(self):
+        # hit at rank 1 (0-indexed): DCG = 1/log2(3); IDCG = 1/log2(2) = 1.
+        got = ndcg_at_k(np.array([9, 1]), {1}, 2)
+        assert got == pytest.approx(1.0 / np.log2(3.0))
+
+    def test_idcg_uses_min_k_relevant(self):
+        # 3 relevant, k=2, both hits -> NDCG = 1 (ideal also capped at 2).
+        got = ndcg_at_k(np.array([1, 2]), {1, 2, 3}, 2)
+        assert got == pytest.approx(1.0)
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.array([1]), set(), 1)
+
+
+class TestMeanMetric:
+    def test_mean(self):
+        assert mean_metric([0.0, 1.0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_metric([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20, unique=True),
+    st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=20),
+)
+def test_metrics_bounded(ranking, relevant, k):
+    ranking = np.array(ranking)
+    assert 0.0 <= recall_at_k(ranking, relevant, k) <= 1.0
+    assert 0.0 <= ndcg_at_k(ranking, relevant, k) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=20, unique=True),
+    st.sets(st.integers(min_value=0, max_value=30), min_size=1, max_size=5),
+)
+def test_recall_monotone_in_k(ranking, relevant):
+    ranking = np.array(ranking)
+    values = [recall_at_k(ranking, relevant, k) for k in range(1, len(ranking) + 1)]
+    assert all(a <= b for a, b in zip(values, values[1:]))

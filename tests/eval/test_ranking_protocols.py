@@ -1,0 +1,205 @@
+"""Tests for full-ranking evaluation, cold-start protocols and user groups."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ItemPop
+from repro.core.base import Recommender
+from repro.data import Dataset, InteractionTable, ItemCatalog, SyntheticConfig, generate
+from repro.eval import (
+    build_cold_start_task,
+    consistency_groups,
+    evaluate,
+    evaluate_cold_start,
+    evaluate_user_groups,
+    topk_rankings,
+)
+
+
+class OracleModel(Recommender):
+    """Scores items by a fixed matrix — lets tests control rankings exactly."""
+
+    name = "oracle"
+    trainable = False
+
+    def __init__(self, dataset, matrix):
+        super().__init__(dataset)
+        self._matrix = matrix
+
+    def predict_scores(self, users):
+        return self._matrix[np.asarray(users, dtype=np.int64)]
+
+
+def small_dataset():
+    """3 users, 6 items, 2 categories; user 2's test item is cold-start."""
+    catalog = ItemCatalog(
+        raw_prices=[1, 2, 3, 4, 5, 6],
+        categories=[0, 0, 0, 1, 1, 1],
+        price_levels=[0, 1, 2, 0, 1, 2],
+        n_categories=2,
+        n_price_levels=3,
+    )
+    train = InteractionTable([0, 0, 1, 2, 2], [0, 1, 3, 0, 2], np.arange(5, dtype=float))
+    valid = InteractionTable([0], [2], [5.0])
+    test = InteractionTable([0, 1, 2], [3, 4, 5], [6.0, 7.0, 8.0])
+    return Dataset("proto", 3, 6, catalog, train, valid, test)
+
+
+class TestTopKRankings:
+    def test_excludes_train_positives(self):
+        ds = small_dataset()
+        scores = np.zeros((3, 6))
+        scores[0] = [10, 9, 8, 7, 6, 5]  # items 0,1 are train positives of user 0
+        model = OracleModel(ds, scores)
+        rankings = topk_rankings(model, ds, [0], k=3)
+        assert 0 not in rankings[0]
+        assert 1 not in rankings[0]
+        np.testing.assert_array_equal(rankings[0], [2, 3, 4])
+
+    def test_include_train(self):
+        ds = small_dataset()
+        scores = np.zeros((3, 6))
+        scores[0] = [10, 9, 8, 7, 6, 5]
+        model = OracleModel(ds, scores)
+        rankings = topk_rankings(model, ds, [0], k=3, exclude_train=False)
+        np.testing.assert_array_equal(rankings[0], [0, 1, 2])
+
+    def test_candidate_pool_masks(self):
+        ds = small_dataset()
+        scores = np.tile(np.array([6.0, 5, 4, 3, 2, 1]), (3, 1))
+        model = OracleModel(ds, scores)
+        rankings = topk_rankings(
+            model, ds, [1], k=6, candidate_items={1: np.array([4, 5])}
+        )
+        np.testing.assert_array_equal(rankings[1][:2], [4, 5])
+
+    def test_invalid_k(self):
+        ds = small_dataset()
+        model = OracleModel(ds, np.zeros((3, 6)))
+        with pytest.raises(ValueError):
+            topk_rankings(model, ds, [0], k=0)
+
+    def test_chunking_consistent(self):
+        config = SyntheticConfig(n_users=50, n_items=60, interactions_per_user=6, seed=3)
+        ds, __ = generate(config)
+        model = ItemPop(ds)
+        a = topk_rankings(model, ds, range(50), k=10, user_chunk=7)
+        b = topk_rankings(model, ds, range(50), k=10, user_chunk=500)
+        for user in range(50):
+            np.testing.assert_array_equal(a[user], b[user])
+
+
+class TestEvaluate:
+    def test_oracle_gets_perfect_metrics(self):
+        ds = small_dataset()
+        # Score each user's test item highest among non-train items.
+        scores = np.zeros((3, 6))
+        scores[0, 3] = 10
+        scores[1, 4] = 10
+        scores[2, 5] = 10
+        model = OracleModel(ds, scores)
+        result = evaluate(model, ds, ks=(1,))
+        assert result["Recall@1"] == 1.0
+        assert result["NDCG@1"] == 1.0
+
+    def test_anti_oracle_gets_zero(self):
+        ds = small_dataset()
+        scores = np.zeros((3, 6))
+        scores[:, :] = 1.0
+        scores[0, 3] = -10
+        scores[1, 4] = -10
+        scores[2, 5] = -10
+        model = OracleModel(ds, scores)
+        result = evaluate(model, ds, ks=(1,))
+        assert result["Recall@1"] == 0.0
+
+    def test_validation_split(self):
+        ds = small_dataset()
+        scores = np.zeros((3, 6))
+        scores[0, 2] = 10
+        model = OracleModel(ds, scores)
+        result = evaluate(model, ds, split="validation", ks=(1,))
+        assert result["Recall@1"] == 1.0
+
+    def test_no_ks_rejected(self):
+        ds = small_dataset()
+        with pytest.raises(ValueError):
+            evaluate(OracleModel(ds, np.zeros((3, 6))), ds, ks=())
+
+    def test_metric_keys(self):
+        ds = small_dataset()
+        result = evaluate(OracleModel(ds, np.zeros((3, 6))), ds, ks=(1, 2))
+        assert set(result) == {"Recall@1", "NDCG@1", "Recall@2", "NDCG@2"}
+
+
+class TestColdStart:
+    def test_task_identifies_cold_users(self):
+        ds = small_dataset()
+        task = build_cold_start_task(ds)
+        # user 0 trained on cat 0, test item 3 is cat 1 -> cold.
+        # user 1 trained on cat 1 (item 3), test item 4 is cat 1 -> not cold.
+        # user 2 trained on cat 0, test item 5 is cat 1 -> cold.
+        assert set(task.users) == {0, 2}
+        assert task.relevant[0] == {3}
+        assert task.relevant[2] == {5}
+
+    def test_cir_pool_is_test_categories(self):
+        ds = small_dataset()
+        task = build_cold_start_task(ds)
+        np.testing.assert_array_equal(np.sort(task.cir_pool[0]), [3, 4, 5])
+
+    def test_ucir_pool_is_unexplored_categories(self):
+        ds = small_dataset()
+        task = build_cold_start_task(ds)
+        # user 0 trained only on category 0 -> unexplored = category 1.
+        np.testing.assert_array_equal(np.sort(task.ucir_pool[0]), [3, 4, 5])
+
+    def test_evaluate_cold_start_oracle(self):
+        ds = small_dataset()
+        scores = np.zeros((3, 6))
+        scores[0, 3] = 10
+        scores[2, 5] = 10
+        model = OracleModel(ds, scores)
+        for protocol in ("CIR", "UCIR"):
+            result = evaluate_cold_start(model, ds, protocol=protocol, ks=(1,))
+            assert result["Recall@1"] == 1.0
+
+    def test_unknown_protocol(self):
+        ds = small_dataset()
+        with pytest.raises(ValueError):
+            evaluate_cold_start(OracleModel(ds, np.zeros((3, 6))), ds, protocol="XIR")
+
+    def test_no_cold_users_raises(self):
+        catalog = ItemCatalog([1.0, 2.0], [0, 0], [0, 1], 1, 2)
+        train = InteractionTable([0], [0], [0.0])
+        test = InteractionTable([0], [1], [1.0])
+        ds = Dataset("warm", 1, 2, catalog, train, InteractionTable([], [], []), test)
+        with pytest.raises(ValueError):
+            evaluate_cold_start(OracleModel(ds, np.zeros((1, 2))), ds)
+
+
+class TestUserGroups:
+    def test_groups_partition_users(self):
+        config = SyntheticConfig(n_users=60, n_items=80, interactions_per_user=10, seed=5)
+        ds, __ = generate(config)
+        groups = consistency_groups(ds)
+        both = set(groups["consistent"]) | set(groups["inconsistent"])
+        overlap = set(groups["consistent"]) & set(groups["inconsistent"])
+        assert not overlap
+        assert both  # some users grouped
+
+    def test_evaluate_user_groups(self):
+        config = SyntheticConfig(n_users=60, n_items=80, interactions_per_user=10, seed=5)
+        ds, __ = generate(config)
+        model = ItemPop(ds)
+        groups = consistency_groups(ds)
+        results = evaluate_user_groups(model, ds, groups, ks=(10,))
+        assert set(results) == {"consistent", "inconsistent"}
+        for metrics in results.values():
+            assert 0.0 <= metrics["Recall@10"] <= 1.0
+
+    def test_empty_group_rejected(self):
+        ds = small_dataset()
+        model = OracleModel(ds, np.zeros((3, 6)))
+        with pytest.raises(ValueError):
+            evaluate_user_groups(model, ds, {"ghost": []}, ks=(1,))

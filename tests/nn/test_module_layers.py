@@ -1,0 +1,163 @@
+"""Tests for Module/Parameter discovery and the layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Linear, MLP, Module, Parameter, Tensor
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.emb = Embedding(4, 3, rng=rng)
+        self.fc = Linear(3, 2, rng=rng)
+        self.extras = [Parameter(np.zeros(2), name="bias_extra")]
+        self.branches = {"a": Linear(2, 2, rng=rng)}
+
+
+class TestModule:
+    def test_parameter_discovery_recursive(self):
+        model = TinyModel()
+        names = dict(model.named_parameters())
+        assert "emb.weight" in names
+        assert "fc.weight" in names
+        assert "fc.bias" in names
+        assert "extras.0" in names
+        assert "branches.a.weight" in names
+
+    def test_parameters_deduplicated(self):
+        model = TinyModel()
+        model.alias = model.emb  # same module twice
+        params = model.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_zero_grad_clears(self):
+        model = TinyModel()
+        out = model.fc(model.emb(np.array([0, 1])))
+        out.sum().backward()
+        assert model.emb.weight.grad is not None
+        model.zero_grad()
+        assert model.emb.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = TinyModel()
+        model.eval()
+        assert not model.fc.training
+        assert not model.branches["a"].training
+        model.train()
+        assert model.fc.training
+
+    def test_state_dict_roundtrip(self):
+        model = TinyModel()
+        state = model.state_dict()
+        model.emb.weight.data += 1.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.emb.weight.data, state["emb.weight"])
+
+    def test_load_state_dict_rejects_unknown_keys(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["fc.bias"] = np.zeros(99)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters(self):
+        model = TinyModel()
+        expected = 4 * 3 + 3 * 2 + 2 + 2 + 2 * 2 + 2
+        assert model.num_parameters() == expected
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 5, 9]))
+        assert out.shape == (3, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2, rng=np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)
+
+    def test_gradient_flows_to_rows(self):
+        emb = Embedding(6, 3, rng=np.random.default_rng(0))
+        emb(np.array([2, 2])).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[2], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(grad[[0, 1, 3, 4, 5]], 0.0)
+
+    def test_all_returns_table(self):
+        emb = Embedding(6, 3, rng=np.random.default_rng(0))
+        assert emb.all() is emb.weight
+
+
+class TestLinear:
+    def test_affine_output(self):
+        fc = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.ones((4, 3))
+        out = fc(Tensor(x))
+        expected = x @ fc.weight.data + fc.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_no_bias(self):
+        fc = Linear(3, 2, rng=np.random.default_rng(0), bias=False)
+        assert fc.bias is None
+        out = fc(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 2)
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_eval_is_identity(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert layer(x) is x
+
+    def test_train_masks(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).any()
+        assert np.isclose(out.data.mean(), 1.0, atol=0.05)
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP([8, 16, 4], rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((3, 8))))
+        assert out.shape == (3, 4)
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([8])
+
+    def test_gradients_reach_all_layers(self):
+        mlp = MLP([4, 8, 1], rng=np.random.default_rng(1))
+        mlp(Tensor(np.random.default_rng(2).normal(size=(5, 4)))).sum().backward()
+        for param in mlp.parameters():
+            assert param.grad is not None
+
+    def test_output_activation_nonnegative(self):
+        mlp = MLP([4, 4], rng=np.random.default_rng(0), output_activation=True)
+        out = mlp(Tensor(np.random.default_rng(3).normal(size=(10, 4))))
+        assert (out.data >= 0).all()

@@ -1,0 +1,118 @@
+"""Hypothesis property-based tests for the autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, unbroadcast
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=max_side),
+            st.integers(min_value=1, max_value=max_side),
+        ),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_add_commutative(x):
+    a = Tensor(x)
+    b = Tensor(x * 2.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_mul_grad_is_other_operand(x):
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(np.full_like(x, 3.0))
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sum_of_parts_equals_total(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.sum(axis=0).data.sum(), t.sum().item(), rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_tanh_bounded_and_odd(x):
+    t = Tensor(x)
+    out = t.tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+    np.testing.assert_allclose(Tensor(-x).tanh().data, -out, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sigmoid_in_unit_interval(x):
+    out = Tensor(x).sigmoid().data
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sigmoid_symmetry(x):
+    # sigmoid(-x) == 1 - sigmoid(x)
+    s = Tensor(x).sigmoid().data
+    s_neg = Tensor(-x).sigmoid().data
+    np.testing.assert_allclose(s_neg, 1.0 - s, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_backward_linear_in_seed(x):
+    # Seeding backward with 2*ones doubles gradients (linearity of autodiff).
+    t1 = Tensor(x.copy(), requires_grad=True)
+    y1 = t1.tanh()
+    y1.backward(np.ones_like(x))
+
+    t2 = Tensor(x.copy(), requires_grad=True)
+    y2 = t2.tanh()
+    y2.backward(2.0 * np.ones_like(x))
+
+    np.testing.assert_allclose(t2.grad, 2.0 * t1.grad, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(), st.integers(min_value=0, max_value=3))
+def test_gather_rows_matches_numpy(x, row):
+    row = row % x.shape[0]
+    t = Tensor(x)
+    np.testing.assert_allclose(t.gather_rows([row]).data[0], x[row])
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_restores_shape(x):
+    grad = np.broadcast_to(x, (3,) + x.shape)
+    result = unbroadcast(np.array(grad), x.shape)
+    assert result.shape == x.shape
+    np.testing.assert_allclose(result, 3.0 * x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, st.integers(min_value=1, max_value=6), elements=finite_floats),
+    arrays(np.float64, st.integers(min_value=1, max_value=6), elements=finite_floats),
+)
+def test_bpr_loss_translation_invariant(pos, neg):
+    """BPR depends only on score differences, not absolute values."""
+    from repro.nn import bpr_loss
+
+    n = min(len(pos), len(neg))
+    pos, neg = pos[:n], neg[:n]
+    base = bpr_loss(Tensor(pos), Tensor(neg)).item()
+    shifted = bpr_loss(Tensor(pos + 7.0), Tensor(neg + 7.0)).item()
+    np.testing.assert_allclose(shifted, base, rtol=1e-9, atol=1e-9)
