@@ -1,0 +1,128 @@
+"""Serving benchmark: latency/QPS of index retrieval vs the live model.
+
+For several catalog sizes this measures, with the same PUP architecture:
+
+* **live** — answering one user by running the model's own scoring path
+  (graph propagation + dense decode), i.e. what serving without an export
+  step would cost (`eval.topk_rankings` per query);
+* **served (single)** — one request at a time through
+  :class:`~repro.serving.service.RecommenderService` (cache disabled, so
+  numbers are pure compute);
+* **served (batched)** — the same requests micro-batched 64 at a time, the
+  intended production configuration.
+
+Reported: p50/p99 per-request latency, QPS, and the live/served speedup.
+Weights are untrained (timing does not depend on weight values).
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import write_report
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.eval import topk_rankings
+from repro.serving import RecommenderService, export_index
+
+K = 50
+BATCH = 64
+CATALOGS = (
+    # (n_users, n_items, live queries, served queries)
+    (400, 1_000, 30, 400),
+    (800, 4_000, 20, 400),
+    (1_600, 16_000, 10, 400),
+)
+
+
+def percentiles(latencies: list) -> tuple:
+    arr = np.asarray(latencies) * 1e3  # ms
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def bench_catalog(n_users: int, n_items: int, live_queries: int, served_queries: int, lines: list) -> None:
+    dataset, _ = generate(
+        SyntheticConfig(
+            n_users=n_users, n_items=n_items, n_categories=8, n_price_levels=5,
+            interactions_per_user=8, seed=1,
+        )
+    )
+    model = pup_full(dataset, global_dim=56, category_dim=8, rng=np.random.default_rng(0))
+    model.eval()
+
+    began = time.perf_counter()
+    index = export_index(model, dataset)
+    export_s = time.perf_counter() - began
+
+    rng = np.random.default_rng(7)
+    warm_users = np.unique(dataset.train.users)
+
+    # --- live model path: propagation + decode per query ---------------
+    live_lat = []
+    for user in rng.choice(warm_users, size=live_queries):
+        began = time.perf_counter()
+        topk_rankings(model, dataset, [int(user)], k=K)
+        live_lat.append(time.perf_counter() - began)
+
+    # --- served, single request at a time -------------------------------
+    service = RecommenderService(index, default_k=K, cache_capacity=0)
+    single_lat = []
+    for user in rng.choice(warm_users, size=served_queries):
+        began = time.perf_counter()
+        service.recommend(int(user))
+        single_lat.append(time.perf_counter() - began)
+
+    # --- served, micro-batched ------------------------------------------
+    batched = RecommenderService(index, default_k=K, cache_capacity=0, max_batch_size=BATCH)
+    batch_lat = []
+    users = rng.choice(warm_users, size=served_queries)
+    for start in range(0, len(users), BATCH):
+        chunk = [int(u) for u in users[start : start + BATCH]]
+        began = time.perf_counter()
+        batched.recommend_many(chunk)
+        batch_lat.append((time.perf_counter() - began) / len(chunk))
+
+    live_p50, live_p99 = percentiles(live_lat)
+    single_p50, single_p99 = percentiles(single_lat)
+    batch_p50, batch_p99 = percentiles(batch_lat)
+    single_qps = 1e3 / single_p50
+    batch_qps = 1e3 / batch_p50
+    speedup_single = live_p50 / single_p50
+    speedup_batch = live_p50 / batch_p50
+
+    lines.append(
+        f"catalog {n_items:>6d} items / {n_users:>5d} users   "
+        f"(export {export_s * 1e3:7.1f} ms, index {index.memory_bytes() / 1e6:6.2f} MB)"
+    )
+    lines.append(
+        f"  live model      p50 {live_p50:9.3f} ms   p99 {live_p99:9.3f} ms   "
+        f"{1e3 / live_p50:9.0f} QPS"
+    )
+    lines.append(
+        f"  served single   p50 {single_p50:9.3f} ms   p99 {single_p99:9.3f} ms   "
+        f"{single_qps:9.0f} QPS   ({speedup_single:6.1f}x live)"
+    )
+    lines.append(
+        f"  served batch{BATCH:<3d} p50 {batch_p50:9.3f} ms   p99 {batch_p99:9.3f} ms   "
+        f"{batch_qps:9.0f} QPS   ({speedup_batch:6.1f}x live)"
+    )
+    lines.append("")
+
+
+def main() -> None:
+    lines = [
+        "Serving benchmark: frozen-index retrieval vs live model scoring",
+        f"top-{K} retrieval, train-item exclusion on, PUP 56/8, micro-batch {BATCH}",
+        "",
+    ]
+    for n_users, n_items, live_queries, served_queries in CATALOGS:
+        bench_catalog(n_users, n_items, live_queries, served_queries, lines)
+    write_report("bench_serving", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    main()

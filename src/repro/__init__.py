@@ -9,6 +9,7 @@ Public API tour:
 * :mod:`repro.baselines` — ItemPop, BPR-MF, PaDQ, FM, DeepFM, GC-MC, NGCF
 * :mod:`repro.train`  — BPR trainer
 * :mod:`repro.eval`   — Recall/NDCG, cold-start protocols, user groups
+* :mod:`repro.serving` — embedding export + batched top-K serving
 * :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
 * :mod:`repro.nn`     — the NumPy autograd substrate
 
@@ -27,7 +28,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, data, eval, graph, nn, train
+from . import analysis, baselines, core, data, eval, graph, nn, serving, train
 
 __all__ = [
     "analysis",
@@ -37,6 +38,7 @@ __all__ = [
     "eval",
     "graph",
     "nn",
+    "serving",
     "train",
     "__version__",
 ]

@@ -6,7 +6,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.base import Recommender
+from ..core.base import Recommender, ScoreBranch
 from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
@@ -45,3 +45,11 @@ class BPRMF(Recommender):
     def predict_scores(self, users: np.ndarray) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         return self.user_embedding.weight.data[users] @ self.item_embedding.weight.data.T
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        return [
+            ScoreBranch(
+                user=self.user_embedding.weight.data,
+                item=self.item_embedding.weight.data,
+            )
+        ]

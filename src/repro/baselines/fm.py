@@ -12,7 +12,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.base import Recommender
+from ..core.base import Recommender, ScoreBranch
 from ..core.decoder import pairwise_interaction, pairwise_interaction_numpy
 from ..data.dataset import Dataset
 from ..nn import Embedding, Parameter, Tensor
@@ -107,3 +107,14 @@ class FM(Recommender):
         scores += const[None, :]
         scores += self.user_bias.data[users][:, None]
         return scores
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        item_side, const = self._item_side_numpy()
+        return [
+            ScoreBranch(
+                user=self.user_embedding.weight.data,
+                item=item_side,
+                item_const=const,
+                user_const=self.user_bias.data,
+            )
+        ]

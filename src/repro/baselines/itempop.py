@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from ..core.base import Recommender
+from ..core.base import Recommender, ScoreBranch
 from ..data.dataset import Dataset
 
 
@@ -24,3 +26,12 @@ class ItemPop(Recommender):
     def predict_scores(self, users: np.ndarray) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         return np.tile(self._popularity, (len(users), 1))
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        # Non-personalized: every user shares a single popularity factor.
+        return [
+            ScoreBranch(
+                user=np.ones((self.n_users, 1)),
+                item=self._popularity[:, None],
+            )
+        ]

@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.base import Recommender
+from ..core.base import Recommender, ScoreBranch
 from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
@@ -96,3 +96,7 @@ class LightGCN(Recommender):
         users = np.asarray(users, dtype=np.int64)
         table = self._propagate_inference()
         return table[users] @ table[self.n_users :].T
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        table = self._propagate_inference()
+        return [ScoreBranch(user=table[: self.n_users], item=table[self.n_users :])]

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.base import Recommender
+from ..core.base import Recommender, ScoreBranch
 from ..data.dataset import Dataset
 from ..nn import Dropout, Embedding, Linear, Tensor, concat
 from ._graph import bipartite_normalized_adjacency
@@ -113,3 +113,7 @@ class NGCF(Recommender):
         users = np.asarray(users, dtype=np.int64)
         table = self._propagate_inference()
         return table[users] @ table[self.n_users :].T
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        table = self._propagate_inference()
+        return [ScoreBranch(user=table[: self.n_users], item=table[self.n_users :])]

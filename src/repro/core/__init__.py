@@ -1,6 +1,6 @@
 """Core library: the PUP model, its encoder/decoder, and ablation variants."""
 
-from .base import Recommender
+from .base import Recommender, ScoreBranch
 from .encoder import GCNEncoder
 from .decoder import pairwise_interaction, pairwise_interaction_numpy
 from .pup import PUP
@@ -16,6 +16,7 @@ from .variants import (
 
 __all__ = [
     "Recommender",
+    "ScoreBranch",
     "GCNEncoder",
     "pairwise_interaction",
     "pairwise_interaction_numpy",

@@ -14,12 +14,56 @@ Models expose two surfaces:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..nn import Module, Tensor
+
+
+@dataclass
+class ScoreBranch:
+    """One additive term of a factorized score function.
+
+    A model whose full score matrix decomposes as
+
+        S = sum_b  weight_b * ( U_b @ V_b.T + item_const_b[None, :]
+                                + user_const_b[:, None] )
+
+    can be served from frozen arrays: graph propagation (the expensive part
+    of every GCN recommender here) happens once at export time and inference
+    reduces to dense matmuls.  ``item_const`` carries score terms that do not
+    depend on the user (e.g. PUP's ``e_i · e_p``); ``user_const`` carries
+    per-user offsets (e.g. FM's first-order user bias) which do not change
+    rankings but keep exported scores equal to :meth:`Recommender.predict_scores`.
+    """
+
+    user: np.ndarray  # (n_users, d)
+    item: np.ndarray  # (n_items, d)
+    item_const: Optional[np.ndarray] = None  # (n_items,)
+    user_const: Optional[np.ndarray] = None  # (n_users,)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Always copy: a frozen branch must not alias live model weights.
+        self.user = np.array(self.user, dtype=np.float64, order="C")
+        self.item = np.array(self.item, dtype=np.float64, order="C")
+        if self.user.ndim != 2 or self.item.ndim != 2:
+            raise ValueError("user/item factors must be 2-D")
+        if self.user.shape[1] != self.item.shape[1]:
+            raise ValueError(
+                f"user/item factor dims differ: {self.user.shape[1]} vs {self.item.shape[1]}"
+            )
+        if self.item_const is not None:
+            self.item_const = np.array(self.item_const, dtype=np.float64)
+            if self.item_const.shape != (self.item.shape[0],):
+                raise ValueError("item_const must have shape (n_items,)")
+        if self.user_const is not None:
+            self.user_const = np.array(self.user_const, dtype=np.float64)
+            if self.user_const.shape != (self.user.shape[0],):
+                raise ValueError("user_const must have shape (n_users,)")
 
 
 class Recommender(Module):
@@ -57,6 +101,20 @@ class Recommender(Module):
     def predict_scores(self, users: np.ndarray) -> np.ndarray:
         """Dense score matrix ``(len(users), n_items)`` for ranking (no grad)."""
         raise NotImplementedError
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        """Frozen factorization of the score function for offline serving.
+
+        Runs any graph propagation once and returns :class:`ScoreBranch`
+        terms whose sum reproduces :meth:`predict_scores` exactly.  Models
+        whose score is not factorizable over (user, item) — e.g. an MLP over
+        joint features — raise ``NotImplementedError``; the serving exporter
+        turns that into a friendly error.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support embedding export; its score "
+            "function is not factorizable into user/item branches"
+        )
 
     def auxiliary_loss(self, users: np.ndarray, items: np.ndarray) -> "Tensor | None":
         """Optional extra training objective added to the BPR loss.

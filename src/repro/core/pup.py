@@ -27,7 +27,7 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..graph.hetero import HeteroGraph
 from ..nn import Tensor
-from .base import Recommender
+from .base import Recommender, ScoreBranch
 from .decoder import pairwise_interaction, pairwise_interaction_numpy
 from .encoder import GCNEncoder
 
@@ -201,3 +201,43 @@ class PUP(Recommender):
         else:
             const = np.zeros(self.n_items)
         return user_emb @ item_side.T + const[None, :]
+
+    def export_embeddings(self) -> List[ScoreBranch]:
+        """Freeze both branches after one propagation pass.
+
+        The factors are exactly the arrays :meth:`predict_scores` folds into
+        its matmuls, so index scores reproduce live scores bit-for-bit.
+        """
+        table = self.global_encoder.propagate_inference()
+        item_emb = table[self._item_nodes]
+        user_emb = table[self._user_nodes]
+
+        if self.two_branch:
+            price_emb = table[self._price_nodes_of_item]
+            global_branch = ScoreBranch(
+                user=user_emb,
+                item=item_emb + price_emb,
+                item_const=(item_emb * price_emb).sum(axis=1),
+            )
+            cat_table = self.category_encoder.propagate_inference()
+            cat_emb = cat_table[self._category_nodes_of_item]
+            cat_price = cat_table[self._price_nodes_of_item]
+            category_branch = ScoreBranch(
+                user=cat_table[self._user_nodes],
+                item=cat_emb + cat_price,
+                item_const=(cat_emb * cat_price).sum(axis=1),
+                weight=self.alpha,
+            )
+            return [global_branch, category_branch]
+
+        extras = []
+        if self.use_price:
+            extras.append(table[self._price_nodes_of_item])
+        if self.use_category:
+            extras.append(table[self._category_nodes_of_item])
+        item_side = item_emb + np.add.reduce(extras) if extras else item_emb
+        if extras:
+            const = pairwise_interaction_numpy([item_emb] + extras)
+        else:
+            const = np.zeros(self.n_items)
+        return [ScoreBranch(user=user_emb, item=item_side, item_const=const)]

@@ -20,9 +20,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..eval.topk import NEG_INF, topk_indices
 from .base import Recommender
-
-_NEG_INF = -1e12
 
 
 class ValueAwareReranker:
@@ -68,7 +67,7 @@ class ValueAwareReranker:
         for row, user in enumerate(users):
             positives = list(train_pos.get(int(user), ()))
             if positives:
-                scores[row, positives] = _NEG_INF
+                scores[row, positives] = NEG_INF
         scores = scores / self.temperature
         scores -= scores.max(axis=1, keepdims=True)
         probabilities = np.exp(scores)
@@ -99,11 +98,9 @@ class ValueAwareReranker:
             self.relevance_weight * normalize(probabilities)
             + (1.0 - self.relevance_weight) * normalize(revenue)
         )
-        top_k = min(k, self.dataset.n_items)
         rankings: Dict[int, np.ndarray] = {}
         for row, user in enumerate(users):
-            top = np.argpartition(-blended[row], top_k - 1)[:top_k]
-            rankings[user] = top[np.argsort(-blended[row][top], kind="stable")]
+            rankings[user] = topk_indices(blended[row], k)
         return rankings
 
 

@@ -1,6 +1,7 @@
 """Evaluation: ranking metrics, protocols, and user-group analyses."""
 
 from .metrics import mean_metric, ndcg_at_k, recall_at_k
+from .topk import masked_topk, topk_indices, topk_pairs
 from .ranking import evaluate, topk_rankings
 from .protocols import ColdStartTask, build_cold_start_task, evaluate_cold_start
 from .groups import consistency_groups, evaluate_user_groups
@@ -22,6 +23,9 @@ __all__ = [
     "recall_at_k",
     "evaluate",
     "topk_rankings",
+    "masked_topk",
+    "topk_indices",
+    "topk_pairs",
     "ColdStartTask",
     "build_cold_start_task",
     "evaluate_cold_start",

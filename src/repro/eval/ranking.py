@@ -16,8 +16,7 @@ import numpy as np
 from ..core.base import Recommender
 from ..data.dataset import Dataset
 from .metrics import mean_metric, ndcg_at_k, recall_at_k
-
-_NEG_INF = -1e12
+from .topk import masked_topk
 
 
 def topk_rankings(
@@ -45,20 +44,13 @@ def topk_rankings(
         scores = np.array(model.predict_scores(chunk), dtype=np.float64)
         for row, user in enumerate(chunk):
             user = int(user)
-            row_scores = scores[row]
-            if candidate_items is not None:
-                mask = np.full(dataset.n_items, _NEG_INF)
-                pool = candidate_items[user]
-                mask[pool] = 0.0
-                row_scores = row_scores + mask
-            if exclude_train:
-                positives = list(train_pos.get(user, ()))
-                if positives:
-                    row_scores = row_scores.copy()
-                    row_scores[positives] = _NEG_INF
-            top_k = min(k, dataset.n_items)
-            top = np.argpartition(-row_scores, top_k - 1)[:top_k]
-            rankings[user] = top[np.argsort(-row_scores[top], kind="stable")]
+            exclude = sorted(train_pos.get(user, ())) if exclude_train else None
+            rankings[user] = masked_topk(
+                scores[row],
+                k,
+                exclude_items=exclude or None,
+                candidate_items=None if candidate_items is None else candidate_items[user],
+            )
     return rankings
 
 

@@ -1,0 +1,98 @@
+"""The masked top-K selection kernel shared by evaluation and serving.
+
+Both the offline evaluator (:mod:`repro.eval.ranking`) and the online
+retrieval engine (:mod:`repro.serving.retrieval`) must rank the same scores
+to the same item ids — otherwise offline metrics stop predicting online
+behaviour.  They therefore share this one kernel.
+
+Selection is *deterministic*: ties are broken by ascending item id, exactly
+as a stable full ``argsort`` of the negated scores would order them.  The
+implementation still uses :func:`numpy.argpartition` (O(n) selection instead
+of O(n log n) sorting) but repairs the partition's arbitrary choice among
+boundary ties, so the output matches the naive reference bit-for-bit on
+every input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: score assigned to masked-out entries.  A true ``-inf`` so that masking is
+#: absolute: no finite score, however extreme, can leak past a mask, and
+#: ``x + NEG_INF == NEG_INF`` exactly for every finite ``x``.
+NEG_INF = -np.inf
+
+
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries, best first, ties by lowest index.
+
+    Equivalent to ``np.argsort(-scores, kind="stable")[:k]`` but O(n) in the
+    selection step.  ``k`` is clipped to ``len(scores)``.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    n = scores.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+    if k == n:
+        return np.argsort(-scores, kind="stable")
+
+    part = np.argpartition(-scores, k - 1)[:k]
+    # argpartition picks an arbitrary subset of the values tied at the k-th
+    # rank; rebuild the selection so boundary ties go to the lowest indices.
+    threshold = scores[part].min()
+    above = np.flatnonzero(scores > threshold)
+    tied = np.flatnonzero(scores == threshold)
+    chosen = np.concatenate([above, tied[: k - len(above)]])
+    return chosen[np.argsort(-scores[chosen], kind="stable")]
+
+
+def topk_pairs(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` positions into parallel ``(item_ids, scores)`` arrays.
+
+    Same ordering contract as :func:`topk_indices` — descending score, ties
+    broken by ascending *item id* (not array position).  Used by the blocked
+    retrieval path to merge per-block candidates.
+    """
+    item_ids = np.asarray(item_ids)
+    scores = np.asarray(scores)
+    if item_ids.shape != scores.shape:
+        raise ValueError(f"ids/scores shape mismatch: {item_ids.shape} vs {scores.shape}")
+    order = np.lexsort((item_ids, -scores))
+    return order[: min(k, len(order))]
+
+
+def masked_topk(
+    scores: np.ndarray,
+    k: int,
+    exclude_items: Optional[Sequence[int]] = None,
+    candidate_items: Optional[np.ndarray] = None,
+    drop_masked: bool = False,
+) -> np.ndarray:
+    """Top-``k`` item ids of one user's score row under masking.
+
+    ``candidate_items`` restricts the pool (everything outside it is pushed
+    to :data:`NEG_INF`); ``exclude_items`` removes specific ids (typically
+    the user's training positives).  With ``drop_masked`` the result omits
+    masked entries instead of letting them pad out a short pool, so callers
+    that surface results to users never emit an excluded item.  (A
+    legitimate item whose own score is ``-inf`` is indistinguishable from a
+    masked one and is dropped too; finite scores are never affected.)
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    masked = candidate_items is not None or exclude_items is not None
+    if candidate_items is not None:
+        mask = np.full(scores.shape[0], NEG_INF)
+        mask[candidate_items] = 0.0
+        scores = scores + mask
+    if exclude_items is not None and len(exclude_items):
+        scores = scores.copy()
+        scores[np.asarray(exclude_items, dtype=np.int64)] = NEG_INF
+    top = topk_indices(scores, k)
+    if drop_masked and masked:
+        top = top[scores[top] > NEG_INF]
+    return top

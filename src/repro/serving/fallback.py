@@ -1,0 +1,56 @@
+"""Cold-start scoring for users the index has no useful embedding for.
+
+The paper's Fig. 6 cold-start analysis shows that price preference
+transfers across categories: knowing which price levels a user accepts is
+informative even for items (or whole categories) the user never touched.
+The serving-side analogue: when a request's user is unseen (id outside the
+index) or has no training history, score items by a *price-level profile*
+— the probability the user buys at each level — combined with within-level
+popularity.  A profile can come with the request (e.g. from the user's
+activity on another surface); without one we fall back to the global
+train-interaction profile.
+
+Scores are ``profile[level(i)] * log1p(popularity_i + 1)``: the profile
+picks the price bands, popularity orders items inside a band, and the
+``+1`` keeps never-purchased items strictly positive so filtered pools are
+never all-zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .index import EmbeddingIndex
+
+
+class PriceProfileFallback:
+    """Non-personalized price-aware scorer for cold users."""
+
+    def __init__(self, index: EmbeddingIndex) -> None:
+        self.index = index
+        self._default_profile = index.price_level_profile()
+        self._popularity_term = np.log1p(index.item_popularity + 1.0)
+
+    def normalize_profile(self, profile: Optional[np.ndarray]) -> np.ndarray:
+        """Validate/normalize a request profile; default when absent."""
+        if profile is None:
+            return self._default_profile
+        profile = np.asarray(profile, dtype=np.float64)
+        if profile.shape != (self.index.n_price_levels,):
+            raise ValueError(
+                f"price profile must have shape ({self.index.n_price_levels},), "
+                f"got {profile.shape}"
+            )
+        if (profile < 0).any():
+            raise ValueError("price profile must be non-negative")
+        total = profile.sum()
+        if total <= 0:
+            return self._default_profile
+        return profile / total
+
+    def scores(self, price_profile: Optional[np.ndarray] = None) -> np.ndarray:
+        """Item scores ``(n_items,)`` for one cold request."""
+        profile = self.normalize_profile(price_profile)
+        return profile[self.index.item_price_levels] * self._popularity_term

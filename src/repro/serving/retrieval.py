@@ -1,0 +1,212 @@
+"""Batched top-K retrieval over a frozen :class:`EmbeddingIndex`.
+
+Scoring is blocked over items: each block of item factors is streamed
+through one ``(batch, dim) @ (dim, block)`` matmul, masked, and reduced to
+per-user block candidates; candidates merge into the exact global top-K.
+Blocking keeps the item-side operand cache-resident at large catalog sizes
+and bounds peak memory at ``batch * item_block_size`` floats instead of
+``batch * n_items``.
+
+Correctness contract: selection uses :func:`repro.eval.topk.masked_topk` —
+the same kernel the offline evaluator uses — and when the catalog fits in
+one block (the default below ~8k items) scores are bit-identical to the
+live model, so offline metrics and online results cannot disagree on
+ranking.  The multi-block merge is exact over the blocked scores; those can
+differ from the single-pass scores by one ULP for degenerate block shapes
+(BLAS picks a different kernel for very narrow matmuls).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.topk import NEG_INF, masked_topk, topk_indices, topk_pairs
+from .filters import Filter, combine_mask, combine_signature
+from .index import EmbeddingIndex
+
+
+@dataclass
+class RetrievalResult:
+    """Ranked items (best first) and their model scores for one user."""
+
+    items: np.ndarray
+    scores: np.ndarray
+
+
+class RetrievalEngine:
+    """Scores users against the catalog and selects top-K under masks.
+
+    ``mask_cache_capacity`` bounds the per-filter-signature mask cache:
+    services commonly see a small set of recurring filter combinations
+    (storefront tabs, price bands) plus a long tail of one-off per-request
+    lists (stock-outs, personal deny lists); LRU keeps the former hot
+    without letting the latter grow memory forever.
+    """
+
+    def __init__(
+        self,
+        index: EmbeddingIndex,
+        item_block_size: int = 8192,
+        mask_cache_capacity: int = 256,
+    ) -> None:
+        if item_block_size < 1:
+            raise ValueError(f"item_block_size must be >= 1, got {item_block_size}")
+        self.index = index
+        self.item_block_size = item_block_size
+        self.mask_cache_capacity = mask_cache_capacity
+        self._mask_cache: "OrderedDict[Tuple, Tuple[Optional[np.ndarray], np.ndarray]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _masks_for(self, filters: Sequence[Filter]) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """(bool mask, allowed ids) for a filter set, LRU-cached together."""
+        if not filters:
+            return None, None
+        key = combine_signature(filters)
+        hit = self._mask_cache.get(key)
+        if hit is None:
+            mask = combine_mask(filters, self.index)
+            hit = (mask, np.flatnonzero(mask))
+            if self.mask_cache_capacity > 0:
+                self._mask_cache[key] = hit
+                while len(self._mask_cache) > self.mask_cache_capacity:
+                    self._mask_cache.popitem(last=False)
+        else:
+            self._mask_cache.move_to_end(key)
+        return hit
+
+    def candidate_mask(self, filters: Sequence[Filter]) -> Optional[np.ndarray]:
+        """Intersected boolean item mask for a filter set (cached)."""
+        return self._masks_for(filters)[0]
+
+    def candidate_items(self, filters: Sequence[Filter]) -> Optional[np.ndarray]:
+        """Allowed item ids for a filter set (cached; ``None`` = everything)."""
+        return self._masks_for(filters)[1]
+
+    def invalidate_masks(self) -> None:
+        """Drop cached filter masks (call after catalog-affecting changes)."""
+        self._mask_cache.clear()
+
+    # ------------------------------------------------------------------
+    def topk(
+        self,
+        users: Sequence[int],
+        k: int,
+        exclude_train: bool = True,
+        filters: Sequence[Filter] = (),
+        drop_masked: bool = True,
+    ) -> List[RetrievalResult]:
+        """Top-``k`` recommendations for a batch of warm users."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        users = np.asarray(users, dtype=np.int64)
+        if len(users) == 0:
+            return []
+        if users.min() < 0 or users.max() >= self.index.n_users:
+            raise ValueError(
+                f"user id out of range [0, {self.index.n_users}); "
+                "route unseen users through the cold-start fallback"
+            )
+        if self.index.n_items <= self.item_block_size:
+            return self._topk_single_block(
+                users, k, exclude_train, self.candidate_items(filters), drop_masked
+            )
+        return self._topk_blocked(users, k, exclude_train, self.candidate_mask(filters), drop_masked)
+
+    def topk_from_scores(
+        self,
+        scores: np.ndarray,
+        k: int,
+        exclude_items: Optional[np.ndarray] = None,
+        filters: Sequence[Filter] = (),
+        drop_masked: bool = True,
+    ) -> RetrievalResult:
+        """Top-``k`` from an externally produced score row (fallback path)."""
+        candidates = self.candidate_items(filters)
+        top = masked_topk(
+            scores,
+            k,
+            exclude_items=exclude_items if exclude_items is not None and len(exclude_items) else None,
+            candidate_items=candidates,
+            drop_masked=drop_masked,
+        )
+        return RetrievalResult(items=top, scores=np.asarray(scores, dtype=np.float64)[top])
+
+    # ------------------------------------------------------------------
+    def _topk_single_block(
+        self,
+        users: np.ndarray,
+        k: int,
+        exclude_train: bool,
+        candidates: Optional[np.ndarray],
+        drop_masked: bool,
+    ) -> List[RetrievalResult]:
+        """One matmul over the whole catalog — identical path to the evaluator."""
+        scores = self.index.score(users)
+        results = []
+        for row, user in enumerate(users):
+            exclude = self.index.excluded_items(int(user)) if exclude_train else None
+            top = masked_topk(
+                scores[row],
+                k,
+                exclude_items=exclude if exclude is not None and len(exclude) else None,
+                candidate_items=candidates,
+                drop_masked=drop_masked,
+            )
+            results.append(RetrievalResult(items=top, scores=scores[row, top]))
+        return results
+
+    def _topk_blocked(
+        self,
+        users: np.ndarray,
+        k: int,
+        exclude_train: bool,
+        mask: Optional[np.ndarray],
+        drop_masked: bool,
+    ) -> List[RetrievalResult]:
+        """Stream item blocks, keep per-user candidates, merge exactly.
+
+        Every global top-``k`` element is inside its own block's top-``k``
+        (selection is monotone), so merging per-block candidates with the
+        same (score desc, id asc) order reproduces the single-pass result.
+        """
+        n_items = self.index.n_items
+        block = self.item_block_size
+        excludes = [
+            self.index.excluded_items(int(user)) if exclude_train else None for user in users
+        ]
+        cand_ids: List[List[np.ndarray]] = [[] for _ in users]
+        cand_scores: List[List[np.ndarray]] = [[] for _ in users]
+
+        for start in range(0, n_items, block):
+            stop = min(start + block, n_items)
+            part = self.index.score_block(users, start, stop)
+            if mask is not None:
+                block_mask = np.where(mask[start:stop], 0.0, NEG_INF)
+                part = part + block_mask[None, :]
+            for row in range(len(users)):
+                row_scores = part[row]
+                exclude = excludes[row]
+                if exclude is not None and len(exclude):
+                    inside = exclude[(exclude >= start) & (exclude < stop)]
+                    if len(inside):
+                        row_scores = row_scores.copy()
+                        row_scores[inside - start] = NEG_INF
+                top = topk_indices(row_scores, k)
+                cand_ids[row].append(top + start)
+                cand_scores[row].append(row_scores[top])
+
+        results = []
+        for row in range(len(users)):
+            ids = np.concatenate(cand_ids[row])
+            values = np.concatenate(cand_scores[row])
+            sel = topk_pairs(ids, values, k)
+            items, scores = ids[sel], values[sel]
+            if drop_masked and (mask is not None or (excludes[row] is not None and len(excludes[row]))):
+                keep = scores > NEG_INF
+                items, scores = items[keep], scores[keep]
+            results.append(RetrievalResult(items=items, scores=scores))
+        return results

@@ -1,0 +1,360 @@
+"""The request-facing recommendation service.
+
+Pipeline: requests enter a micro-batching queue; at flush time they are
+grouped by ranking parameters (k, exclusion, filter signature) and each
+group of *warm* users is answered by one batched retrieval — turning N
+single-user matmuls into one ``(N, d) @ (d, n_items)`` matmul, which is
+where the serving throughput comes from.  Per-request scenario routing:
+
+* **warm user** (known id with training history) → full model score from
+  the frozen index — identical item ids to the offline evaluator;
+* **cold user** (unseen id, or known but history-free) → price-profile
+  fallback (:mod:`repro.serving.fallback`), optionally personalized by a
+  request-supplied price profile.
+
+Results land in an LRU cache keyed by the full request identity with
+explicit invalidation (:meth:`RecommenderService.invalidate`) for when a
+new index is swapped in or a user's state changes.  Latency, QPS, and
+cache hit-rate counters live in :class:`~repro.serving.stats.ServingStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .fallback import PriceProfileFallback
+from .filters import Filter, combine_signature
+from .index import EmbeddingIndex
+from .retrieval import RetrievalEngine
+from .stats import ServingStats
+
+WARM = "warm"
+COLD = "cold_fallback"
+
+
+@dataclass
+class Request:
+    """One recommendation query."""
+
+    user: int
+    k: int
+    exclude_train: bool = True
+    filters: Tuple[Filter, ...] = ()
+    price_profile: Optional[np.ndarray] = None
+
+    def cache_key(self) -> Tuple:
+        profile = None if self.price_profile is None else tuple(np.asarray(self.price_profile, dtype=np.float64))
+        return (
+            self.user,
+            self.k,
+            self.exclude_train,
+            combine_signature(self.filters),
+            profile,
+        )
+
+    def batch_key(self) -> Tuple:
+        """Requests sharing this key can be answered by one batched matmul."""
+        return (self.k, self.exclude_train, combine_signature(self.filters))
+
+
+@dataclass
+class Recommendation:
+    """Ranked answer for one request."""
+
+    user: int
+    items: np.ndarray
+    scores: np.ndarray
+    source: str  # WARM or COLD
+    cached: bool = False
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class PendingRecommendation:
+    """Handle returned by :meth:`RecommenderService.submit`.
+
+    Resolves when the service flushes its queue; calling :meth:`result`
+    forces a flush if the answer is not in yet.  A request that failed
+    during its batch re-raises its error here — one poisoned request never
+    orphans the rest of a batch.
+    """
+
+    def __init__(self, service: "RecommenderService", request: Request) -> None:
+        self._service = service
+        self._request = request
+        self._result: Optional[Recommendation] = None
+        self._error: Optional[Exception] = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    def _resolve(self, result: Recommendation) -> None:
+        self._result = result
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+
+    def result(self) -> Recommendation:
+        if not self.done:
+            self._service.flush()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None, "flush() must resolve every queued request"
+        return self._result
+
+
+class RecommenderService:
+    """Micro-batching, caching, scenario-routing front-end over one index."""
+
+    def __init__(
+        self,
+        index: EmbeddingIndex,
+        default_k: int = 10,
+        max_batch_size: int = 64,
+        cache_capacity: int = 1024,
+        item_block_size: int = 8192,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if default_k < 1:
+            raise ValueError(f"default_k must be >= 1, got {default_k}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.index = index
+        self.engine = RetrievalEngine(index, item_block_size=item_block_size)
+        self.fallback = PriceProfileFallback(index)
+        self.default_k = default_k
+        self.max_batch_size = max_batch_size
+        self.cache_capacity = cache_capacity
+        self._clock = clock or time.perf_counter
+        self._cache: "OrderedDict[Tuple, Recommendation]" = OrderedDict()
+        self._queue: List[Tuple[Request, PendingRecommendation]] = []
+        self.stats = ServingStats(clock=self._clock)
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        exclude_train: bool = True,
+        filters: Sequence[Filter] = (),
+        price_profile: Optional[np.ndarray] = None,
+    ) -> PendingRecommendation:
+        """Enqueue a request; flushes automatically at ``max_batch_size``.
+
+        Request validation happens here, not at flush time, so a malformed
+        request fails its caller immediately instead of poisoning a batch.
+        ``price_profile`` only steers the cold-start fallback; for warm
+        users (answered by the full model score) it is validated, then
+        dropped — so every profile variant of a warm request shares one
+        cache entry.
+        """
+        if price_profile is not None:
+            price_profile = self.fallback.normalize_profile(price_profile)
+            if self.index.is_warm(int(user)):
+                price_profile = None
+        request = Request(
+            user=int(user),
+            k=self.default_k if k is None else int(k),
+            exclude_train=exclude_train,
+            filters=tuple(filters),
+            price_profile=price_profile,
+        )
+        if request.k < 1:
+            raise ValueError(f"k must be >= 1, got {request.k}")
+        pending = PendingRecommendation(self, request)
+        self.stats.record_request(warm=self.index.is_warm(request.user))
+
+        cached = self._cache_get(request.cache_key())
+        if cached is not None:
+            self.stats.record_cache(hit=True)
+            # Hand out copies: callers may mutate their result freely
+            # without corrupting the cached answer.
+            pending._resolve(
+                Recommendation(
+                    user=cached.user,
+                    items=cached.items.copy(),
+                    scores=cached.scores.copy(),
+                    source=cached.source,
+                    cached=True,
+                )
+            )
+            return pending
+        self.stats.record_cache(hit=False)
+
+        self._queue.append((request, pending))
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return pending
+
+    def recommend(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        exclude_train: bool = True,
+        filters: Sequence[Filter] = (),
+        price_profile: Optional[np.ndarray] = None,
+    ) -> Recommendation:
+        """Synchronous single-request convenience wrapper."""
+        return self.submit(
+            user, k=k, exclude_train=exclude_train, filters=filters, price_profile=price_profile
+        ).result()
+
+    def recommend_many(
+        self,
+        users: Sequence[int],
+        k: Optional[int] = None,
+        exclude_train: bool = True,
+        filters: Sequence[Filter] = (),
+    ) -> List[Recommendation]:
+        """Batch entry point: enqueue everything, flush once, keep order."""
+        pending = [
+            self.submit(user, k=k, exclude_train=exclude_train, filters=filters) for user in users
+        ]
+        self.flush()
+        return [p.result() for p in pending]
+
+    # ------------------------------------------------------------------
+    # Micro-batch execution
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Answer every queued request; returns how many were resolved."""
+        if not self._queue:
+            return 0
+        queue, self._queue = self._queue, []
+
+        groups: "OrderedDict[Tuple, List[Tuple[Request, PendingRecommendation]]]" = OrderedDict()
+        for request, pending in queue:
+            groups.setdefault(request.batch_key(), []).append((request, pending))
+
+        for entries in groups.values():
+            warm = [(r, p) for r, p in entries if self.index.is_warm(r.user)]
+            cold = [(r, p) for r, p in entries if not self.index.is_warm(r.user)]
+            if warm:
+                self._run_group(self._answer_warm, warm)
+            if cold:
+                self._run_group(self._answer_cold_group, cold)
+        return len(queue)
+
+    @staticmethod
+    def _run_group(answer, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+        """Answer one group; on error, fail its requests instead of raising."""
+        try:
+            answer(entries)
+        except Exception as error:  # noqa: BLE001 - delivered via result()
+            for _, pending in entries:
+                if not pending.done:
+                    pending._fail(error)
+
+    def _answer_warm(self, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+        first = entries[0][0]
+        users = [request.user for request, _ in entries]
+        began = self._clock()
+        results = self.engine.topk(
+            users,
+            k=first.k,
+            exclude_train=first.exclude_train,
+            filters=first.filters,
+        )
+        self.stats.record_batch(
+            n_requests=len(entries),
+            n_items_scored=len(entries) * self.index.n_items,
+            seconds=self._clock() - began,
+        )
+        for (request, pending), result in zip(entries, results):
+            answer = Recommendation(
+                user=request.user, items=result.items, scores=result.scores, source=WARM
+            )
+            self._cache_put(request.cache_key(), answer)
+            pending._resolve(answer)
+
+    def _answer_cold_group(self, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+        """Answer cold requests, computing each profile's score vector once.
+
+        Fallback scores depend only on the price profile (and the frozen
+        index), so requests sharing a profile — in particular the common
+        no-profile case — share one scoring pass.
+        """
+        by_profile: "OrderedDict[Optional[Tuple], List[Tuple[Request, PendingRecommendation]]]" = OrderedDict()
+        for request, pending in entries:
+            key = None if request.price_profile is None else tuple(request.price_profile)
+            by_profile.setdefault(key, []).append((request, pending))
+
+        for profile_entries in by_profile.values():
+            began = self._clock()
+            scores = self.fallback.scores(profile_entries[0][0].price_profile)
+            for request, pending in profile_entries:
+                exclude = None
+                if request.exclude_train and 0 <= request.user < self.index.n_users:
+                    exclude = self.index.excluded_items(request.user)
+                result = self.engine.topk_from_scores(
+                    scores, k=request.k, exclude_items=exclude, filters=request.filters
+                )
+                answer = Recommendation(
+                    user=request.user, items=result.items, scores=result.scores, source=COLD
+                )
+                self._cache_put(request.cache_key(), answer)
+                pending._resolve(answer)
+            self.stats.record_batch(
+                n_requests=len(profile_entries),
+                n_items_scored=self.index.n_items,
+                seconds=self._clock() - began,
+            )
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: Tuple) -> Optional[Recommendation]:
+        if self.cache_capacity < 1:
+            return None
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def _cache_put(self, key: Tuple, value: Recommendation) -> None:
+        if self.cache_capacity < 1:
+            return
+        # Snapshot the arrays: the caller owns the object we hand back.
+        self._cache[key] = Recommendation(
+            user=value.user,
+            items=value.items.copy(),
+            scores=value.scores.copy(),
+            source=value.source,
+        )
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, user: Optional[int] = None) -> int:
+        """Drop cached results — all of them, or one user's.
+
+        Call with no argument after swapping in a re-exported index; call
+        with a user id when that user's state changed (new purchase).
+        Returns the number of evicted entries.
+        """
+        if user is None:
+            evicted = len(self._cache)
+            self._cache.clear()
+            self.engine.invalidate_masks()
+            return evicted
+        keys = [key for key in self._cache if key[0] == user]
+        for key in keys:
+            del self._cache[key]
+        return len(keys)
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)

@@ -2,7 +2,14 @@
 
 from .config import TrainConfig
 from .trainer import TrainResult, Trainer, train_model
-from .persistence import load_checkpoint, load_metadata, save_checkpoint
+from .persistence import (
+    load_checkpoint,
+    load_metadata,
+    read_archive_arrays,
+    read_archive_metadata,
+    save_checkpoint,
+    write_archive,
+)
 
 __all__ = [
     "TrainConfig",
@@ -12,4 +19,7 @@ __all__ = [
     "load_checkpoint",
     "load_metadata",
     "save_checkpoint",
+    "write_archive",
+    "read_archive_metadata",
+    "read_archive_arrays",
 ]

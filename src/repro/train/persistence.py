@@ -1,7 +1,16 @@
-"""Model checkpoint persistence (save/load trained weights as ``.npz``).
+"""Persistence of trained artifacts as ``.npz`` archives with JSON headers.
 
-Checkpoints store every named parameter plus a metadata header so a loader
-can verify it is restoring into a compatible architecture.
+Two artifact kinds share one on-disk format:
+
+* **model checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
+  — every named parameter of a :class:`~repro.core.base.Recommender`;
+* **serving indexes** (:mod:`repro.serving.index`) — frozen embedding
+  branches exported for online retrieval.
+
+The format is a compressed ``.npz`` whose ``__metadata__`` entry is a JSON
+header (stored as a uint8 byte array).  :func:`write_archive` /
+:func:`read_archive_metadata` / :func:`read_archive_arrays` are the generic
+layer; the checkpoint functions below and the serving index build on them.
 """
 
 from __future__ import annotations
@@ -16,16 +25,59 @@ from ..core.base import Recommender
 
 _METADATA_KEY = "__metadata__"
 
+#: header field naming the artifact kind; absent in archives written before
+#: the field existed, which are treated as checkpoints
+KIND_KEY = "kind"
+CHECKPOINT_KIND = "checkpoint"
 
-def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) -> str:
-    """Serialize ``model``'s parameters to ``path`` (.npz appended if absent)."""
+
+# ----------------------------------------------------------------------
+# Generic archive layer
+# ----------------------------------------------------------------------
+def write_archive(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) -> str:
+    """Write ``arrays`` plus a JSON ``metadata`` header to ``path`` (.npz)."""
     if not path.endswith(".npz"):
         path = path + ".npz"
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    if _METADATA_KEY in arrays:
+        raise ValueError(f"array name {_METADATA_KEY!r} is reserved for the header")
+    payload = dict(arrays)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
 
+
+def read_archive_metadata(path: str) -> Dict:
+    """Read only the JSON header of an archive."""
+    with np.load(path) as archive:
+        if _METADATA_KEY not in archive:
+            raise ValueError(f"{path} is not a repro archive (missing metadata header)")
+        raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+    return json.loads(raw)
+
+
+def read_archive_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Read every stored array (header excluded)."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+
+
+def archive_kind(metadata: Dict) -> str:
+    """Artifact kind recorded in a header (legacy headers are checkpoints)."""
+    return metadata.get(KIND_KEY, CHECKPOINT_KIND)
+
+
+# ----------------------------------------------------------------------
+# Model checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) -> str:
+    """Serialize ``model``'s parameters to ``path`` (.npz appended if absent)."""
     state = model.state_dict()
     metadata = {
+        KIND_KEY: CHECKPOINT_KIND,
         "model_name": model.name,
         "model_class": type(model).__name__,
         "n_users": model.n_users,
@@ -33,21 +85,12 @@ def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) ->
         "parameter_names": sorted(state),
         "extra": extra or {},
     }
-    arrays = dict(state)
-    arrays[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(path, **arrays)
-    return path
+    return write_archive(path, state, metadata)
 
 
 def load_metadata(path: str) -> Dict:
     """Read only the metadata header of a checkpoint."""
-    with np.load(path) as archive:
-        if _METADATA_KEY not in archive:
-            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
-        raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
-    return json.loads(raw)
+    return read_archive_metadata(path)
 
 
 def load_checkpoint(model: Recommender, path: str, strict: bool = True) -> Dict:
@@ -57,6 +100,10 @@ def load_checkpoint(model: Recommender, path: str, strict: bool = True) -> Dict:
     must match the target model exactly.
     """
     metadata = load_metadata(path)
+    if archive_kind(metadata) != CHECKPOINT_KIND:
+        raise ValueError(
+            f"{path} holds a {archive_kind(metadata)!r} artifact, not a model checkpoint"
+        )
     if strict:
         if metadata["model_class"] != type(model).__name__:
             raise ValueError(
@@ -68,7 +115,5 @@ def load_checkpoint(model: Recommender, path: str, strict: bool = True) -> Dict:
                 f"({metadata['n_users']}/{metadata['n_items']}) do not match model "
                 f"({model.n_users}/{model.n_items})"
             )
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
-    model.load_state_dict(state)
+    model.load_state_dict(read_archive_arrays(path))
     return metadata

@@ -1,0 +1,104 @@
+"""Property tests for the shared masked top-K kernel."""
+
+import numpy as np
+import pytest
+
+from repro.eval.topk import NEG_INF, masked_topk, topk_indices, topk_pairs
+
+
+def naive_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Reference: stable full argsort (descending score, ties by index)."""
+    return np.argsort(-scores, kind="stable")[: min(k, len(scores))]
+
+
+class TestTopkIndices:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_naive_on_random_floats(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        k = int(rng.integers(1, n + 5))
+        scores = rng.normal(size=n)
+        np.testing.assert_array_equal(topk_indices(scores, k), naive_topk(scores, k))
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_naive_with_heavy_ties(self, seed):
+        # Quantized scores force many exact ties, including at the k-boundary
+        # where a bare argpartition makes arbitrary choices.
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 150))
+        k = int(rng.integers(1, n))
+        scores = rng.integers(0, 4, size=n).astype(np.float64)
+        np.testing.assert_array_equal(topk_indices(scores, k), naive_topk(scores, k))
+
+    def test_all_equal_scores_selects_lowest_ids(self):
+        scores = np.zeros(10)
+        np.testing.assert_array_equal(topk_indices(scores, 4), [0, 1, 2, 3])
+
+    def test_k_clipped_to_length(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(topk_indices(scores, 10), [0, 2, 1])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            topk_indices(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            topk_indices(np.zeros((2, 2)), 1)
+
+
+class TestTopkPairs:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ties_break_by_item_id_not_position(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 50
+        ids = rng.permutation(1000)[:n]
+        values = rng.integers(0, 3, size=n).astype(np.float64)
+        sel = topk_pairs(ids, values, 7)
+        chosen = list(zip(values[sel], ids[sel]))
+        expected = sorted(zip(values, ids), key=lambda p: (-p[0], p[1]))[:7]
+        assert chosen == expected
+
+
+class TestMaskedTopk:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_naive_under_masks(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        k = int(rng.integers(1, n))
+        scores = rng.integers(0, 5, size=n).astype(np.float64) + rng.normal(scale=1e-3, size=n)
+        exclude = rng.permutation(n)[: int(rng.integers(0, n // 2 + 1))]
+        candidates = np.flatnonzero(rng.random(n) < 0.7)
+        if len(candidates) == 0:
+            candidates = np.array([0])
+
+        reference = scores.copy()
+        mask = np.full(n, NEG_INF)
+        mask[candidates] = 0.0
+        reference = reference + mask
+        reference[exclude] = NEG_INF
+
+        got = masked_topk(scores, k, exclude_items=exclude if len(exclude) else None,
+                          candidate_items=candidates)
+        np.testing.assert_array_equal(got, naive_topk(reference, k))
+
+    def test_drop_masked_returns_only_allowed(self):
+        scores = np.arange(10, dtype=np.float64)
+        got = masked_topk(scores, 5, candidate_items=np.array([1, 3]), drop_masked=True)
+        np.testing.assert_array_equal(got, [3, 1])
+
+    def test_drop_masked_with_exclusions(self):
+        scores = np.arange(6, dtype=np.float64)
+        got = masked_topk(scores, 6, exclude_items=[5, 4], drop_masked=True)
+        np.testing.assert_array_equal(got, [3, 2, 1, 0])
+
+    def test_extreme_scores_cannot_pierce_masks(self):
+        # A huge score must not leak past a candidate mask, and a hugely
+        # negative (but unmasked) item must not be mistaken for masked.
+        scores = np.array([-6e11, 1.0, 2.0, 1e13])
+        got = masked_topk(scores, 4, candidate_items=np.array([0, 1, 2]), drop_masked=True)
+        np.testing.assert_array_equal(got, [2, 1, 0])  # item 3 masked out, item 0 kept
+        got = masked_topk(scores, 4, exclude_items=[1], drop_masked=True)
+        np.testing.assert_array_equal(got, [3, 2, 0])
+
+    def test_no_mask_keeps_everything(self):
+        scores = np.array([0.5, 2.5, 1.5])
+        np.testing.assert_array_equal(masked_topk(scores, 2), [1, 2])

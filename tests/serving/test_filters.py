@@ -1,0 +1,88 @@
+"""Filter composition and signatures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF
+from repro.data import SyntheticConfig, generate
+from repro.serving import (
+    AllOf,
+    AllowListFilter,
+    CategoryFilter,
+    DenyListFilter,
+    PriceBandFilter,
+    combine_mask,
+    combine_signature,
+    export_index,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    config = SyntheticConfig(
+        n_users=20, n_items=30, n_categories=3, n_price_levels=4,
+        interactions_per_user=5, seed=77,
+    )
+    dataset = generate(config)[0]
+    model = BPRMF(dataset, dim=4, rng=np.random.default_rng(0))
+    return export_index(model, dataset)
+
+
+class TestIndividualFilters:
+    def test_price_band(self, index):
+        mask = PriceBandFilter(1, 2).mask(index)
+        levels = index.item_price_levels
+        np.testing.assert_array_equal(mask, (levels >= 1) & (levels <= 2))
+
+    def test_price_band_open_ends(self, index):
+        np.testing.assert_array_equal(
+            PriceBandFilter(max_level=1).mask(index), index.item_price_levels <= 1
+        )
+        np.testing.assert_array_equal(
+            PriceBandFilter(min_level=2).mask(index), index.item_price_levels >= 2
+        )
+        with pytest.raises(ValueError):
+            PriceBandFilter()
+
+    def test_price_band_raw_prices(self, index):
+        threshold = float(np.median(index.item_raw_prices))
+        mask = PriceBandFilter(max_level=threshold, use_raw_prices=True).mask(index)
+        np.testing.assert_array_equal(mask, index.item_raw_prices <= threshold)
+
+    def test_category(self, index):
+        mask = CategoryFilter([0, 2]).mask(index)
+        np.testing.assert_array_equal(mask, np.isin(index.item_categories, [0, 2]))
+
+    def test_allow_and_deny(self, index):
+        allow = AllowListFilter([3, 5, 7]).mask(index)
+        assert allow.sum() == 3 and allow[[3, 5, 7]].all()
+        deny = DenyListFilter([3, 5]).mask(index)
+        assert not deny[[3, 5]].any() and deny.sum() == index.n_items - 2
+
+
+class TestComposition:
+    def test_and_operator_intersects(self, index):
+        combined = PriceBandFilter(0, 2) & CategoryFilter([1])
+        assert isinstance(combined, AllOf)
+        expected = PriceBandFilter(0, 2).mask(index) & CategoryFilter([1]).mask(index)
+        np.testing.assert_array_equal(combined.mask(index), expected)
+
+    def test_combine_mask_empty_is_none(self, index):
+        assert combine_mask([], index) is None
+
+    def test_signature_stable_under_reconstruction(self):
+        a = [PriceBandFilter(0, 2), CategoryFilter([2, 1])]
+        b = [PriceBandFilter(0, 2), CategoryFilter([1, 2])]
+        assert combine_signature(a) == combine_signature(b)
+
+    def test_signature_distinguishes_different_filters(self):
+        assert combine_signature([PriceBandFilter(0, 2)]) != combine_signature(
+            [PriceBandFilter(0, 3)]
+        )
+        assert combine_signature([AllowListFilter([1])]) != combine_signature(
+            [DenyListFilter([1])]
+        )
+
+    def test_nested_all_of_flattens(self, index):
+        nested = AllOf([AllOf([PriceBandFilter(0, 1)]), CategoryFilter([0])])
+        assert all(not isinstance(f, AllOf) for f in nested.filters)

@@ -1,0 +1,152 @@
+"""Retrieval engine: parity with the offline evaluator, blocked == full."""
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.serving import (
+    CategoryFilter,
+    DenyListFilter,
+    PriceBandFilter,
+    RetrievalEngine,
+    export_index,
+)
+from repro.eval import topk_rankings
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=50, n_items=90, n_categories=4, n_price_levels=4,
+        interactions_per_user=8, seed=31,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=12, category_dim=6, rng=np.random.default_rng(2))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, model, index
+
+
+class TestEvalParity:
+    def test_topk_matches_offline_evaluator_bit_identically(self, setup):
+        """Acceptance criterion: serving ids == eval ids for warm users."""
+        dataset, model, index = setup
+        users = list(range(dataset.n_users))
+        engine = RetrievalEngine(index)
+        expected = topk_rankings(model, dataset, users, k=10)
+        results = engine.topk(users, k=10, exclude_train=True, drop_masked=False)
+        for user, result in zip(users, results):
+            np.testing.assert_array_equal(result.items, expected[user])
+
+    def test_topk_without_exclusion_matches_evaluator(self, setup):
+        dataset, model, index = setup
+        users = [0, 3, 17]
+        engine = RetrievalEngine(index)
+        expected = topk_rankings(model, dataset, users, k=5, exclude_train=False)
+        results = engine.topk(users, k=5, exclude_train=False)
+        for user, result in zip(users, results):
+            np.testing.assert_array_equal(result.items, expected[user])
+
+    def test_scores_returned_are_model_scores(self, setup):
+        dataset, model, index = setup
+        engine = RetrievalEngine(index)
+        [result] = engine.topk([4], k=5, exclude_train=False)
+        full = model.predict_scores(np.array([4]))[0]
+        np.testing.assert_array_equal(result.scores, full[result.items])
+
+
+class TestBlockedPath:
+    @pytest.mark.parametrize("block", [7, 32, 64])
+    def test_blocked_equals_single_block(self, setup, block):
+        dataset, _, index = setup
+        users = list(range(0, dataset.n_users, 3))
+        reference = RetrievalEngine(index, item_block_size=dataset.n_items)
+        blocked = RetrievalEngine(index, item_block_size=block)
+        expected = reference.topk(users, k=12)
+        got = blocked.topk(users, k=12)
+        for ours, theirs in zip(expected, got):
+            np.testing.assert_array_equal(ours.items, theirs.items)
+            np.testing.assert_array_equal(ours.scores, theirs.scores)
+
+    def test_degenerate_block_size_one(self, setup):
+        # BLAS takes a different kernel for (B, d) @ (d, 1) than for a full
+        # gemm, so scores may drift by one ULP; rankings must still agree up
+        # to that tolerance.
+        dataset, _, index = setup
+        users = list(range(0, dataset.n_users, 3))
+        reference = RetrievalEngine(index, item_block_size=dataset.n_items)
+        blocked = RetrievalEngine(index, item_block_size=1)
+        expected = reference.topk(users, k=12)
+        got = blocked.topk(users, k=12)
+        for ours, theirs in zip(expected, got):
+            np.testing.assert_array_equal(ours.items, theirs.items)
+            np.testing.assert_allclose(ours.scores, theirs.scores, rtol=1e-12)
+
+    @pytest.mark.parametrize("block", [9, 40])
+    def test_blocked_with_filters_and_exclusion(self, setup, block):
+        dataset, _, index = setup
+        users = list(range(0, dataset.n_users, 5))
+        filters = [PriceBandFilter(1, 3), CategoryFilter([0, 1, 2])]
+        reference = RetrievalEngine(index, item_block_size=dataset.n_items)
+        blocked = RetrievalEngine(index, item_block_size=block)
+        expected = reference.topk(users, k=8, filters=filters)
+        got = blocked.topk(users, k=8, filters=filters)
+        for ours, theirs in zip(expected, got):
+            np.testing.assert_array_equal(ours.items, theirs.items)
+
+
+class TestMasksAndFilters:
+    def test_exclusion_removes_train_items(self, setup):
+        dataset, _, index = setup
+        engine = RetrievalEngine(index)
+        train_pos = dataset.train_positive_sets()
+        users = [u for u in range(dataset.n_users) if train_pos.get(u)][:10]
+        for user, result in zip(users, engine.topk(users, k=20)):
+            assert not set(result.items.tolist()) & train_pos[user]
+
+    def test_price_band_filter_restricts_levels(self, setup):
+        dataset, _, index = setup
+        engine = RetrievalEngine(index)
+        [result] = engine.topk([2], k=10, filters=[PriceBandFilter(0, 1)])
+        assert len(result.items) > 0
+        assert (dataset.item_price_levels[result.items] <= 1).all()
+
+    def test_deny_list_filter(self, setup):
+        dataset, _, index = setup
+        engine = RetrievalEngine(index)
+        [unfiltered] = engine.topk([6], k=5)
+        deny = unfiltered.items[:2].tolist()
+        [result] = engine.topk([6], k=5, filters=[DenyListFilter(deny)])
+        assert not set(deny) & set(result.items.tolist())
+
+    def test_drop_masked_never_returns_excluded(self, setup):
+        dataset, _, index = setup
+        engine = RetrievalEngine(index)
+        # k larger than the allowed pool: result shrinks instead of leaking.
+        allowed = np.flatnonzero(dataset.item_price_levels == 0)
+        [result] = engine.topk([1], k=dataset.n_items, filters=[PriceBandFilter(0, 0)])
+        assert set(result.items.tolist()) <= set(allowed.tolist())
+
+    def test_mask_cache_reused(self, setup):
+        _, _, index = setup
+        engine = RetrievalEngine(index)
+        filters = [PriceBandFilter(0, 2)]
+        first = engine.candidate_mask(filters)
+        second = engine.candidate_mask([PriceBandFilter(0, 2)])
+        assert first is second
+        engine.invalidate_masks()
+        assert engine.candidate_mask(filters) is not first
+
+    def test_mask_cache_is_bounded(self, setup):
+        _, _, index = setup
+        engine = RetrievalEngine(index, mask_cache_capacity=3)
+        for low in range(10):
+            engine.candidate_mask([PriceBandFilter(0, low)])
+        assert len(engine._mask_cache) == 3
+
+    def test_out_of_range_user_rejected(self, setup):
+        _, _, index = setup
+        engine = RetrievalEngine(index)
+        with pytest.raises(ValueError, match="cold-start"):
+            engine.topk([index.n_users], k=5)
