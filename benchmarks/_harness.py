@@ -16,13 +16,10 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Iterable, List, Optional
 
-import numpy as np
-
-from repro.baselines import BPRMF, FM, GCMC, NGCF, DeepFM, ItemPop, PaDQ
-from repro.core import pup_full
 from repro.data import load_dataset
 from repro.data.dataset import Dataset
 from repro.eval import evaluate
+from repro.experiments import PAPER_HPARAMS, build_model, model_display_name
 from repro.train import TrainConfig, train_model
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -45,20 +42,17 @@ def default_config(seed: int = 0, epochs: int = EPOCHS) -> TrainConfig:
 
 
 def model_builders(seed: int = 0) -> Dict[str, Callable[[Dataset], object]]:
-    """Constructors for the Table II method column, in the paper's order."""
+    """Constructors for the Table II method column, in the paper's order.
 
-    def rng() -> np.random.Generator:
-        return np.random.default_rng(seed)
-
+    Built from the model registry; ``PAPER_HPARAMS`` is the shared
+    hyper-parameter table, so the benchmarks, the examples, and the CLI
+    ``compare`` subcommand all train identical configurations.
+    """
     return {
-        "ItemPop": lambda d: ItemPop(d),
-        "BPR-MF": lambda d: BPRMF(d, dim=64, rng=rng()),
-        "PaDQ": lambda d: PaDQ(d, dim=64, price_weight=8.0, rng=rng()),
-        "FM": lambda d: FM(d, dim=64, rng=rng()),
-        "DeepFM": lambda d: DeepFM(d, dim=32, hidden=(64, 32), rng=rng()),
-        "GC-MC": lambda d: GCMC(d, dim=64, rng=rng()),
-        "NGCF": lambda d: NGCF(d, dim=64, rng=rng()),
-        "PUP": lambda d: pup_full(d, global_dim=56, category_dim=8, rng=rng()),
+        model_display_name(name): (
+            lambda d, name=name: build_model(name, d, seed=seed, **PAPER_HPARAMS[name])
+        )
+        for name in PAPER_HPARAMS
     }
 
 

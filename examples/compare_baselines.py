@@ -1,44 +1,41 @@
 """Compare all eight methods on one dataset — a miniature of Table II.
 
+Every model is built through the experiment registry (`build_model`) with
+the shared Table II hyper-parameters, so this file contains zero per-model
+glue.  The same comparison is available from the shell:
+
+    python -m repro compare --dataset yelp --scale 0.5 --epochs 25
+
 Run:  python examples/compare_baselines.py [yelp|beibei|amazon]
 """
 
 import sys
 
-import numpy as np
-
-from repro.baselines import BPRMF, FM, GCMC, NGCF, DeepFM, ItemPop, PaDQ
-from repro.core import pup_full
-from repro.data import load_dataset
-from repro.eval import evaluate
-from repro.train import TrainConfig, train_model
+from repro import ExperimentSpec, run_experiment
+from repro.experiments import PAPER_HPARAMS, model_display_name
 
 
 def main(dataset_name: str = "yelp") -> None:
-    dataset, _truth = load_dataset(dataset_name, scale=0.5)
-    print(f"dataset: {dataset_name}-like —", dataset.summary())
-
-    rng = lambda: np.random.default_rng(0)  # noqa: E731 - fresh seed per model
-    methods = {
-        "ItemPop": ItemPop(dataset),
-        "BPR-MF": BPRMF(dataset, dim=64, rng=rng()),
-        "PaDQ": PaDQ(dataset, dim=64, price_weight=8.0, rng=rng()),
-        "FM": FM(dataset, dim=64, rng=rng()),
-        "DeepFM": DeepFM(dataset, dim=32, hidden=(64, 32), rng=rng()),
-        "GC-MC": GCMC(dataset, dim=64, rng=rng()),
-        "NGCF": NGCF(dataset, dim=64, rng=rng()),
-        "PUP": pup_full(dataset, global_dim=56, category_dim=8, rng=rng()),
-    }
-
-    config = TrainConfig(epochs=25, lr_milestones=(12, 19))
+    epochs = 25
     print("\n%-10s %-10s %-10s %-12s %-10s" % ("method", "R@50", "N@50", "R@100", "N@100"))
-    for name, model in methods.items():
-        train_model(model, dataset, config)
-        metrics = evaluate(model, dataset, ks=(50, 100))
+    for model_name in PAPER_HPARAMS:  # the Table II methods, in paper order
+        spec = ExperimentSpec.create(
+            model_name,
+            dataset_name,
+            scale=0.5,
+            hparams=dict(PAPER_HPARAMS[model_name]),
+            epochs=epochs,
+            # lr cut by 10x at 1/2 and 3/4 of the run — the same rule the
+            # benchmarks harness and `python -m repro compare` use.
+            lr_milestones=(epochs // 2, (3 * epochs) // 4),
+            ks=(50, 100),
+            export=False,
+        )
+        metrics = run_experiment(spec).metrics
         print(
             "%-10s %-10.4f %-10.4f %-12.4f %-10.4f"
             % (
-                name,
+                model_display_name(model_name),
                 metrics["Recall@50"],
                 metrics["NDCG@50"],
                 metrics["Recall@100"],

@@ -1,48 +1,54 @@
-"""Quickstart: train PUP on the Yelp-like dataset and inspect recommendations.
+"""Quickstart: one declarative experiment — train PUP, evaluate, serve.
+
+The whole load → build → train → evaluate → export pipeline is one
+``ExperimentSpec`` plus one ``run`` call; the artifact directory it writes
+can be reloaded later with ``Experiment.load`` (or served straight from the
+shell: ``python -m repro serve runs/quickstart``).
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.core import pup_full
-from repro.data import load_dataset
-from repro.eval import evaluate, topk_rankings
-from repro.train import TrainConfig, train_model
+from repro import ExperimentSpec, run_experiment
 
 
 def main() -> None:
-    # 1. Load a dataset (synthetic stand-in for Yelp2018; see DESIGN.md).
-    dataset, _truth = load_dataset("yelp", scale=0.5)
-    print("dataset:", dataset.summary())
-
-    # 2. Build the two-branch PUP model (56/8 embedding allocation, Table V).
-    model = pup_full(
-        dataset, global_dim=56, category_dim=8, rng=np.random.default_rng(0)
+    # 1. Declare the experiment: the Yelp-like dataset, the two-branch PUP
+    #    model with the paper's 56/8 embedding allocation (Table V), and the
+    #    paper's training recipe (BPR + Adam + step lr decay).
+    spec = ExperimentSpec.create(
+        "pup",
+        "yelp",
+        scale=0.5,
+        hparams={"global_dim": 56, "category_dim": 8},
+        epochs=25,
+        lr_milestones=(12, 19),
+        ks=(50, 100),
+        name="quickstart",
     )
-    print(f"model: {model.name} with {model.num_parameters()} parameters")
 
-    # 3. Train with the paper's recipe (BPR + Adam + step lr decay).
-    config = TrainConfig(epochs=25, lr_milestones=(12, 19), verbose=False)
-    result = train_model(model, dataset, config)
-    print(f"trained {result.epochs_run} epochs, loss {result.epoch_losses[0]:.4f} "
+    # 2. Run it.  This trains, evaluates with the paper's full-ranking
+    #    protocol, exports the serving index, and writes runs/quickstart/.
+    experiment = run_experiment(spec, artifacts_dir="runs/quickstart", verbose=True)
+
+    result = experiment.train_result
+    print(f"\ntrained {result.epochs_run} epochs, loss {result.epoch_losses[0]:.4f} "
           f"-> {result.final_loss:.4f}")
-
-    # 4. Evaluate with the paper's protocol (full ranking, Recall/NDCG).
-    metrics = evaluate(model, dataset, ks=(50, 100))
-    for name, value in metrics.items():
+    for name, value in experiment.metrics.items():
         print(f"  {name}: {value:.4f}")
 
-    # 5. Inspect one user's top recommendations with price/category context.
+    # 3. Inspect one user's top recommendations with price/category context.
+    dataset = experiment.dataset
     user = int(dataset.test.users[0])
-    ranking = topk_rankings(model, dataset, [user], k=5)[user]
+    recommendation = experiment.service(default_k=5).recommend(user)
     print(f"\ntop-5 recommendations for user {user}:")
-    for rank, item in enumerate(ranking, start=1):
+    for rank, item in enumerate(recommendation.items, start=1):
         print(
             f"  #{rank} item {item:4d}  category={dataset.item_categories[item]:2d}  "
             f"price_level={dataset.item_price_levels[item]}  "
             f"raw_price={dataset.catalog.raw_prices[item]:8.2f}"
         )
+    print(f"\nartifacts written to {experiment.artifacts_dir}/ "
+          "(try: python -m repro evaluate runs/quickstart)")
 
 
 if __name__ == "__main__":

@@ -10,10 +10,20 @@ Public API tour:
 * :mod:`repro.train`  — BPR trainer
 * :mod:`repro.eval`   — Recall/NDCG, cold-start protocols, user groups
 * :mod:`repro.serving` — embedding export + batched top-K serving
+* :mod:`repro.experiments` — model registry, declarative experiment specs,
+  artifact store (also the engine behind the ``python -m repro`` CLI)
 * :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
 * :mod:`repro.nn`     — the NumPy autograd substrate
 
-Quickstart::
+Quickstart (declarative experiment API)::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.create("pup", "yelp", scale=0.5, epochs=20)
+    experiment = run_experiment(spec, artifacts_dir="runs/pup_yelp")
+    print(experiment.metrics)
+
+or layer by layer::
 
     from repro.data import load_dataset
     from repro.core import pup_full
@@ -24,11 +34,23 @@ Quickstart::
     model = pup_full(dataset)
     train_model(model, dataset, TrainConfig(epochs=20))
     print(evaluate(model, dataset, ks=(50,)))
+
+The same pipeline is reachable from the shell: ``python -m repro train
+--model pup --dataset yelp`` (see ``python -m repro --help``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, baselines, core, data, eval, graph, nn, serving, train
+from . import analysis, baselines, core, data, eval, experiments, graph, nn, serving, train
+from .data.registry import available_datasets, load_dataset
+from .experiments import (
+    Experiment,
+    ExperimentSpec,
+    ModelSpec,
+    available_models,
+    build_model,
+)
+from .experiments import run as run_experiment
 
 __all__ = [
     "analysis",
@@ -36,9 +58,18 @@ __all__ = [
     "core",
     "data",
     "eval",
+    "experiments",
     "graph",
     "nn",
     "serving",
     "train",
+    "available_datasets",
+    "available_models",
+    "build_model",
+    "load_dataset",
+    "Experiment",
+    "ExperimentSpec",
+    "ModelSpec",
+    "run_experiment",
     "__version__",
 ]

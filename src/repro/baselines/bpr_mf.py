@@ -7,10 +7,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
 
+@register_model("bpr-mf", aliases=("bprmf",))
 class BPRMF(Recommender):
     """Pure collaborative filtering: ``s(u, i) = e_u · e_i``."""
 

@@ -13,11 +13,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.base import Recommender
+from ..experiments.registry import register_model
 from ..core.decoder import pairwise_interaction
 from ..data.dataset import Dataset
 from ..nn import MLP, Embedding, Parameter, Tensor, concat
 
 
+@register_model("deepfm")
 class DeepFM(Recommender):
     """FM + MLP over {user, item, category, price} embeddings."""
 

@@ -13,11 +13,13 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..core.decoder import pairwise_interaction, pairwise_interaction_numpy
 from ..data.dataset import Dataset
 from ..nn import Embedding, Parameter, Tensor
 
 
+@register_model("fm")
 class FM(Recommender):
     """2-way FM over {user, item, category, price} one-hot features."""
 

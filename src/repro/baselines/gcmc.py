@@ -17,11 +17,13 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 from ..nn import Dropout, Embedding, Linear, Tensor
 from ._graph import bipartite_normalized_adjacency
 
 
+@register_model("gcmc", aliases=("gc-mc",))
 class GCMC(Recommender):
     """Bipartite GCN encoder + dot-product decoder."""
 

@@ -7,9 +7,11 @@ from typing import List
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 
 
+@register_model("itempop")
 class ItemPop(Recommender):
     """Ranks items by their interaction count in the training set."""
 

@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
@@ -37,6 +38,7 @@ def _symmetric_normalized_bipartite(dataset: Dataset) -> sp.csr_matrix:
     return (scale @ matrix @ scale).tocsr()
 
 
+@register_model("lightgcn")
 class LightGCN(Recommender):
     """K-layer LightGCN with mean layer combination."""
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 from ..nn import Dropout, Embedding, Linear, Tensor, concat
 from ._graph import bipartite_normalized_adjacency
@@ -33,6 +34,7 @@ def _leaky_relu(tensor: Tensor) -> Tensor:
     return tensor.relu() - (-tensor).relu() * _LEAKY_SLOPE
 
 
+@register_model("ngcf")
 class NGCF(Recommender):
     """One-layer NGCF with price-augmented item input features."""
 

@@ -19,10 +19,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Recommender, ScoreBranch
+from ..experiments.registry import register_model
 from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
 
+@register_model("padq")
 class PaDQ(Recommender):
     """CMF over user-item / user-price / item-price matrices."""
 

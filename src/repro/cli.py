@@ -1,0 +1,331 @@
+"""``python -m repro`` — the command-line face of the experiment API.
+
+Subcommands:
+
+* ``list``      — registered models and datasets
+* ``train``     — run one experiment spec end to end, write an artifact dir
+* ``evaluate``  — re-evaluate a saved artifact dir
+* ``export``    — (re)build the serving index from a saved checkpoint
+* ``serve``     — answer recommendation queries from an artifact dir
+* ``compare``   — train several models on one dataset, print a table
+
+Every subcommand goes through :mod:`repro.experiments`; nothing here
+touches model factories or training loops directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .data.registry import available_datasets
+from .experiments import PAPER_HPARAMS
+from .experiments.artifacts import INDEX_FILENAME, Experiment
+from .experiments.registry import (
+    available_models,
+    model_display_name,
+    model_info,
+    resolve_model_name,
+)
+from .experiments.runner import run
+from .experiments.spec import ExperimentSpec
+from .serving.export import ExportError
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort typed parse of a ``--hparam key=value`` value."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_hparams(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
+    hparams: Dict[str, Any] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--hparam expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        hparams[key.strip()] = _parse_value(value.strip())
+    return hparams
+
+
+def _parse_ks(text: str, flag: str = "--ks") -> tuple:
+    try:
+        return tuple(int(k) for k in text.split(","))
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated integers, got {text!r}")
+
+
+def _print_metrics(metrics: Dict[str, float], indent: str = "  ") -> None:
+    for name in sorted(metrics):
+        print(f"{indent}{name}: {metrics[name]:.4f}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    print("datasets:")
+    for name in available_datasets():
+        print(f"  {name}")
+    print("\nmodels:")
+    width = max(len(name) for name in available_models())
+    for name in available_models():
+        info = model_info(name)
+        aliases = ", ".join(a for a in info["aliases"] if a != info["display"])
+        suffix = f"  (aliases: {aliases})" if aliases else ""
+        print(f"  {name.ljust(width)}  {info['display']:<12} {info['description']}{suffix}")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    if args.spec:
+        # A spec file is the complete experiment; silently overriding parts
+        # of it from flags would record the wrong experiment in spec.json.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--model", args.model),
+                ("--dataset", args.dataset),
+                ("--scale", args.scale),
+                ("--seed", args.seed),
+                ("--data-seed", args.data_seed),
+                ("--epochs", args.epochs),
+                ("--batch-size", args.batch_size),
+                ("--lr", args.lr),
+                ("--l2", args.l2),
+                ("--lr-milestones", args.lr_milestones),
+                ("--eval-every", args.eval_every),
+                ("--ks", args.ks),
+                ("--split", args.split),
+                ("--hparam", args.hparam),
+                ("--name", args.name),
+            )
+            if value is not None
+        ] + (["--no-export"] if args.no_export else [])
+        if conflicting:
+            raise SystemExit(
+                f"--spec is a complete experiment; drop {', '.join(conflicting)} "
+                "or edit the spec file instead"
+            )
+        return ExperimentSpec.load(args.spec)
+    if not args.model or not args.dataset:
+        raise SystemExit("train needs --model and --dataset (or --spec FILE)")
+    train_kwargs: Dict[str, Any] = {"epochs": 40 if args.epochs is None else args.epochs}
+    if args.batch_size is not None:
+        train_kwargs["batch_size"] = args.batch_size
+    if args.lr is not None:
+        train_kwargs["learning_rate"] = args.lr
+    if args.l2 is not None:
+        train_kwargs["l2_weight"] = args.l2
+    if args.lr_milestones is not None:
+        train_kwargs["lr_milestones"] = _parse_ks(args.lr_milestones, "--lr-milestones")
+    if args.eval_every is not None:
+        train_kwargs["eval_every"] = args.eval_every
+    train_kwargs["verbose"] = not args.quiet
+    return ExperimentSpec.create(
+        args.model,
+        args.dataset,
+        hparams=_parse_hparams(args.hparam),
+        seed=0 if args.seed is None else args.seed,
+        scale=1.0 if args.scale is None else args.scale,
+        data_seed=0 if args.data_seed is None else args.data_seed,
+        ks=_parse_ks(args.ks or "50,100"),
+        split=args.split or "test",
+        export=not args.no_export,
+        name=args.name,
+        **train_kwargs,
+    )
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    artifacts_dir = args.out or os.path.join("runs", spec.name)
+    experiment = run(spec, artifacts_dir=artifacts_dir, verbose=not args.quiet)
+    print(f"\n{spec.name} metrics ({spec.eval.split}):")
+    _print_metrics(experiment.metrics)
+    print(f"artifacts: {artifacts_dir}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    experiment = Experiment.load(args.artifacts)
+    ks = _parse_ks(args.ks) if args.ks else None
+    metrics = experiment.evaluate(ks=ks, split=args.split)
+    label = args.split or experiment.spec.eval.split
+    print(f"{experiment.spec.name} metrics ({label}):")
+    _print_metrics(metrics)
+    if experiment.metrics and ks is None and args.split is None:
+        drift = {
+            name: abs(metrics[name] - stored)
+            for name, stored in experiment.metrics.items()
+            if name in metrics
+        }
+        worst = max(drift.values(), default=0.0)
+        print(f"stored metrics.json reproduced to within {worst:.2e}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    experiment = Experiment.load(args.artifacts)
+    out = args.out or os.path.join(args.artifacts, INDEX_FILENAME)
+    try:
+        index = experiment.export(force=True)
+    except ExportError as error:
+        print(f"export failed: {error}", file=sys.stderr)
+        return 1
+    path = index.save(out)
+    print(
+        f"exported {index.model_name} index: {index.n_users} users x "
+        f"{index.n_items} items, {len(index.branches)} branches, "
+        f"{index.memory_bytes() / 1e3:.0f} kB -> {path}"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    experiment = Experiment.load(args.artifacts)
+    try:
+        service = experiment.service(default_k=args.k)
+    except ExportError as error:
+        print(f"cannot serve this artifact: {error}", file=sys.stderr)
+        return 1
+
+    if args.users and not args.dry_run:
+        users = [int(u) for u in args.users.split(",")]
+    else:
+        # Dry run: a few warm users plus one unknown id to exercise fallback.
+        warm = [u for u in range(service.index.n_users) if service.index.is_warm(u)]
+        users = warm[:3] + [service.index.n_users + 10_000]
+    for recommendation in service.recommend_many(users):
+        items = ", ".join(str(int(item)) for item in recommendation.items)
+        print(f"user {recommendation.user} [{recommendation.source}]: {items}")
+    snapshot = service.stats.snapshot()
+    print(
+        f"served {snapshot['requests']:.0f} requests | "
+        f"p50 {snapshot['latency_p50_ms']:.3f} ms | {snapshot['qps']:.0f} QPS"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = args.models.split(",") if args.models else list(PAPER_HPARAMS)
+    ks = _parse_ks(args.ks)
+    metric_names = [f"{metric}@{k}" for k in ks for metric in ("Recall", "NDCG")]
+
+    rows: List[List[str]] = []
+    for name in names:
+        spec = ExperimentSpec.create(
+            name,
+            args.dataset,
+            hparams=dict(PAPER_HPARAMS.get(resolve_model_name(name), {})),
+            seed=args.seed,
+            scale=args.scale,
+            epochs=args.epochs,
+            lr_milestones=(args.epochs // 2, (3 * args.epochs) // 4),
+            ks=ks,
+            export=False,
+        )
+        experiment = run(spec, verbose=not args.quiet)
+        rows.append(
+            [model_display_name(spec.model.name)]
+            + [f"{experiment.metrics[m]:.4f}" for m in metric_names]
+        )
+
+    header = ["method", *metric_names]
+    widths = [max(len(row[i]) for row in [header, *rows]) for i in range(len(header))]
+    print(f"\ndataset: {args.dataset} (scale {args.scale}, {args.epochs} epochs)")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment CLI for the PUP reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="registered models and datasets").set_defaults(
+        func=cmd_list
+    )
+
+    train = commands.add_parser("train", help="run one experiment, write artifacts")
+    train.add_argument("--model", help="registry name (see `list`)")
+    train.add_argument("--dataset", help="dataset name (see `list`)")
+    train.add_argument("--spec", help="load a full ExperimentSpec JSON instead of flags")
+    train.add_argument("--scale", type=float, help="dataset scale (default 1.0)")
+    train.add_argument("--seed", type=int, help="model init + training seed (default 0)")
+    train.add_argument("--data-seed", type=int)
+    train.add_argument("--epochs", type=int, help="default 40")
+    train.add_argument("--batch-size", type=int)
+    train.add_argument("--lr", type=float)
+    train.add_argument("--l2", type=float)
+    train.add_argument("--lr-milestones", help="comma-separated epoch numbers")
+    train.add_argument("--eval-every", type=int)
+    train.add_argument("--ks", help="eval cutoffs, comma-separated (default 50,100)")
+    train.add_argument("--split", choices=("train", "validation", "test"))
+    train.add_argument(
+        "--hparam", action="append", metavar="KEY=VALUE", help="model hyper-parameter"
+    )
+    train.add_argument("--name", help="experiment name (default: <model>_<dataset>)")
+    train.add_argument("--out", help="artifact directory (default: runs/<name>)")
+    train.add_argument("--no-export", action="store_true", help="skip the serving index")
+    train.add_argument("--quiet", action="store_true")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = commands.add_parser("evaluate", help="re-evaluate a saved artifact dir")
+    evaluate.add_argument("artifacts", help="artifact directory written by `train`")
+    evaluate.add_argument("--ks", help="override eval cutoffs")
+    evaluate.add_argument("--split", choices=("train", "validation", "test"))
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    export = commands.add_parser("export", help="rebuild the serving index")
+    export.add_argument("artifacts", help="artifact directory written by `train`")
+    export.add_argument("--out", help="index path (default: <artifacts>/index.npz)")
+    export.set_defaults(func=cmd_export)
+
+    serve = commands.add_parser("serve", help="answer queries from an artifact dir")
+    serve.add_argument("artifacts", help="artifact directory written by `train`")
+    serve.add_argument("--users", help="comma-separated user ids")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="serve a sample of warm users plus one cold id, then exit; "
+        "overrides --users (also the default when --users is omitted)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    compare = commands.add_parser("compare", help="train several models, print a table")
+    compare.add_argument(
+        "--models", help="comma-separated registry names (default: the Table II eight)"
+    )
+    compare.add_argument("--dataset", default="yelp")
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("--epochs", type=int, default=25)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--ks", default="50,100")
+    compare.add_argument("--quiet", action="store_true")
+    compare.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

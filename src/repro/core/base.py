@@ -15,7 +15,7 @@ Models expose two surfaces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,10 @@ class Recommender(Module):
     #: whether the trainer should run gradient descent on this model
     trainable: bool = True
 
+    #: how this instance can be rebuilt (registry name + hparams + seed);
+    #: set by :func:`repro.experiments.build_model`, None for hand-built models
+    model_spec = None
+
     def __init__(self, dataset: Dataset) -> None:
         super().__init__()
         self.n_users = dataset.n_users
@@ -82,6 +86,27 @@ class Recommender(Module):
         self.n_price_levels = dataset.n_price_levels
         self.item_categories = dataset.item_categories.copy()
         self.item_price_levels = dataset.item_price_levels.copy()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, dataset: Dataset, config: Dict) -> "Recommender":
+        """Rebuild a model from its serialized construction config.
+
+        ``config`` is the :meth:`~repro.experiments.ModelSpec.to_dict` form
+        (``{"name": ..., "hparams": {...}, "seed": ...}``); construction goes
+        through the model registry, so any registered model can be restored
+        from a checkpoint's or experiment's metadata.  Called on a subclass,
+        the config must resolve to that subclass.
+        """
+        from ..experiments.registry import ModelSpec  # deferred: avoids a cycle
+
+        model = ModelSpec.from_dict(config).build(dataset)
+        if cls is not Recommender and not isinstance(model, cls):
+            raise TypeError(
+                f"config names model {config.get('name')!r} which built a "
+                f"{type(model).__name__}, not a {cls.__name__}"
+            )
+        return model
 
     # ------------------------------------------------------------------
     def score_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:

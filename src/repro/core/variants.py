@@ -22,9 +22,11 @@ from typing import Optional
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..experiments.registry import register_model
 from .pup import PUP
 
 
+@register_model("pup", aliases=("PUP", "pup-full"), display="PUP")
 def pup_full(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
     """The complete two-branch PUP model."""
     model = PUP(dataset, rng=rng, use_price=True, use_category=True, **kwargs)
@@ -32,6 +34,7 @@ def pup_full(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwar
     return model
 
 
+@register_model("pup-p", aliases=("PUP w/ p", "pup-with-price"), display="PUP w/ p")
 def pup_with_price(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
     """Price kept, category removed — a single {u, i, p} branch."""
     model = PUP(dataset, rng=rng, use_price=True, use_category=False, **kwargs)
@@ -39,6 +42,7 @@ def pup_with_price(dataset: Dataset, rng: Optional[np.random.Generator] = None, 
     return model
 
 
+@register_model("pup-c", aliases=("PUP w/ c", "pup-with-category"), display="PUP w/ c")
 def pup_with_category(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
     """Category kept, price removed — a single {u, i, c} branch."""
     model = PUP(dataset, rng=rng, use_price=False, use_category=True, **kwargs)
@@ -46,6 +50,11 @@ def pup_with_category(dataset: Dataset, rng: Optional[np.random.Generator] = Non
     return model
 
 
+@register_model(
+    "pup-mf",
+    aliases=("PUP w/o c,p", "pup-without-price-and-category"),
+    display="PUP w/o c,p",
+)
 def pup_without_price_and_category(
     dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs
 ) -> PUP:
@@ -55,6 +64,7 @@ def pup_without_price_and_category(
     return model
 
 
+@register_model("pup-minus", aliases=("PUP-",), display="PUP-")
 def pup_minus(dataset: Dataset, rng: Optional[np.random.Generator] = None, **kwargs) -> PUP:
     """PUP− from the cold-start study (Fig 6): category nodes removed."""
     model = pup_with_price(dataset, rng=rng, **kwargs)

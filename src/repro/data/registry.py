@@ -7,7 +7,9 @@ so nine benchmark files training on the same dataset do not regenerate it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
 
 from .dataset import Dataset
 from .synthetic import (
@@ -26,9 +28,37 @@ _BUILDERS: Dict[str, Callable] = {
 _CACHE: Dict[Tuple, Tuple[Dataset, SyntheticGroundTruth]] = {}
 
 
-def available_datasets() -> list:
+def available_datasets() -> List[str]:
     """Names accepted by :func:`load_dataset`."""
     return sorted(_BUILDERS)
+
+
+def _canonical(value: Any) -> Any:
+    """Hashable canonical form of one kwarg value for the cache key.
+
+    Builder kwargs may legitimately be lists, arrays, or nested dicts
+    (e.g. a custom price-level table); ``tuple(sorted(kwargs.items()))``
+    alone would produce an unhashable key for those.  Sequences of distinct
+    container types map to distinct tags so ``[0, 1]`` and ``(0, 1)`` do
+    not collide with each other's cache entries.
+    """
+    if isinstance(value, dict):
+        items = sorted(((type(k).__name__, str(k)), _canonical(v)) for k, v in value.items())
+        return ("dict", tuple(items))
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__, tuple(_canonical(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(_canonical(v) for v in value)))
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def cache_key(name: str, seed: int, scale: float, kwargs: Dict[str, Any]) -> Tuple:
+    """The hashable identity of one :func:`load_dataset` call."""
+    return (name, seed, scale, tuple((k, _canonical(v)) for k, v in sorted(kwargs.items())))
 
 
 def load_dataset(
@@ -37,7 +67,7 @@ def load_dataset(
     """Build (or return cached) dataset + ground truth by name."""
     if name not in _BUILDERS:
         raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
-    key = (name, seed, scale, tuple(sorted(kwargs.items())))
+    key = cache_key(name, seed, scale, kwargs)
     if key not in _CACHE:
         _CACHE[key] = _BUILDERS[name](seed=seed, scale=scale, **kwargs)
     return _CACHE[key]

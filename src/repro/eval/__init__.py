@@ -2,7 +2,7 @@
 
 from .metrics import mean_metric, ndcg_at_k, recall_at_k
 from .topk import masked_topk, topk_indices, topk_pairs
-from .ranking import evaluate, topk_rankings
+from .ranking import evaluate, metrics_from_rankings, topk_rankings
 from .protocols import ColdStartTask, build_cold_start_task, evaluate_cold_start
 from .groups import consistency_groups, evaluate_user_groups
 from .extended_metrics import (
@@ -22,6 +22,7 @@ __all__ = [
     "ndcg_at_k",
     "recall_at_k",
     "evaluate",
+    "metrics_from_rankings",
     "topk_rankings",
     "masked_topk",
     "topk_indices",

@@ -54,6 +54,30 @@ def topk_rankings(
     return rankings
 
 
+def metrics_from_rankings(
+    rankings: Dict[int, np.ndarray],
+    positives: Dict[int, set],
+    ks: Iterable[int],
+) -> Dict[str, float]:
+    """Recall@K / NDCG@K averaged over the users in ``positives``.
+
+    Shared by :func:`evaluate` and any caller that already has rankings in
+    hand (pre-served top-K lists, cached experiment artifacts); each user's
+    ranking must be at least ``max(ks)`` long.
+    """
+    ks = sorted(set(int(k) for k in ks))
+    if not ks:
+        raise ValueError("need at least one cutoff k")
+    users = sorted(positives)
+    results: Dict[str, float] = {}
+    for k in ks:
+        recalls = [recall_at_k(rankings[user], positives[user], k) for user in users]
+        ndcgs = [ndcg_at_k(rankings[user], positives[user], k) for user in users]
+        results[f"Recall@{k}"] = mean_metric(recalls)
+        results[f"NDCG@{k}"] = mean_metric(ndcgs)
+    return results
+
+
 def evaluate(
     model: Recommender,
     dataset: Dataset,
@@ -69,15 +93,8 @@ def evaluate(
     positives = dataset.split_positive_sets(split)
     if not positives:
         raise ValueError(f"split {split!r} has no interactions to evaluate")
-    users = sorted(positives)
     rankings = topk_rankings(
-        model, dataset, users, k=max(ks), exclude_train=exclude_train, user_chunk=user_chunk
+        model, dataset, sorted(positives), k=max(ks), exclude_train=exclude_train,
+        user_chunk=user_chunk,
     )
-
-    results: Dict[str, float] = {}
-    for k in ks:
-        recalls = [recall_at_k(rankings[user], positives[user], k) for user in users]
-        ndcgs = [ndcg_at_k(rankings[user], positives[user], k) for user in users]
-        results[f"Recall@{k}"] = mean_metric(recalls)
-        results[f"NDCG@{k}"] = mean_metric(ndcgs)
-    return results
+    return metrics_from_rankings(rankings, positives, ks)

@@ -1,0 +1,234 @@
+"""The versioned experiment artifact directory and its in-memory handle.
+
+One :func:`repro.experiments.run` call materializes as a directory:
+
+====================  ====================================================
+``spec.json``         format version + the full :class:`ExperimentSpec`
+``checkpoint.npz``    model parameters (:mod:`repro.train.persistence`)
+``index.npz``         frozen :class:`~repro.serving.EmbeddingIndex`
+                      (absent for non-factorizable models, e.g. DeepFM)
+``metrics.json``      eval metrics + training summary (validation-off runs
+                      serialize ``best_metric``/``best_epoch`` as null)
+``loss_curve.json``   per-epoch losses + validation history
+====================  ====================================================
+
+:class:`Experiment` is the live handle over those pieces — the trained
+model, its dataset, metrics, and the serving index — whether it came fresh
+out of a run or was rehydrated with :meth:`Experiment.load`.  Rehydration
+is exact: the reloaded model serves the same top-K as the in-process model
+did before saving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..eval.ranking import topk_rankings
+from ..serving.export import ExportError, export_index
+from ..serving.index import EmbeddingIndex
+from ..serving.service import RecommenderService
+from ..train.persistence import load_checkpoint, save_checkpoint
+from ..train.trainer import TrainResult
+from .spec import ExperimentSpec
+
+SPEC_FILENAME = "spec.json"
+CHECKPOINT_FILENAME = "checkpoint.npz"
+INDEX_FILENAME = "index.npz"
+METRICS_FILENAME = "metrics.json"
+LOSS_CURVE_FILENAME = "loss_curve.json"
+
+#: bump when the directory layout changes incompatibly
+ARTIFACT_FORMAT_VERSION = 1
+
+
+def _write_json(path: str, payload: Dict) -> str:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _read_json(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class Experiment:
+    """A spec plus everything it produced: model, metrics, serving index."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        dataset,
+        model,
+        train_result: Optional[TrainResult] = None,
+        metrics: Optional[Dict[str, float]] = None,
+        index: Optional[EmbeddingIndex] = None,
+        artifacts_dir: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.dataset = dataset
+        self.model = model
+        self.train_result = train_result
+        self.metrics = dict(metrics or {})
+        self._index = index
+        self.artifacts_dir = artifacts_dir
+
+    # ------------------------------------------------------------------
+    # Serving surface
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> EmbeddingIndex:
+        """The frozen serving index; exported on first access if needed."""
+        return self.export()
+
+    def export(self, force: bool = False) -> EmbeddingIndex:
+        """(Re)freeze the serving index from the live model.
+
+        ``force=True`` re-runs the export even when an index is already in
+        hand (e.g. one loaded from disk that may predate the checkpoint).
+        """
+        if force or self._index is None:
+            self._index = export_index(
+                self.model, self.dataset, extra={"experiment": self.spec.to_dict()}
+            )
+        return self._index
+
+    def service(self, **kwargs) -> RecommenderService:
+        """A ready :class:`RecommenderService` over this experiment's index."""
+        return RecommenderService(self.index, **kwargs)
+
+    def topk(
+        self, users: Sequence[int], k: int = 10, exclude_train: bool = True
+    ) -> Dict[int, np.ndarray]:
+        """Offline top-K rankings from the live model (evaluator semantics)."""
+        return topk_rankings(self.model, self.dataset, users, k=k, exclude_train=exclude_train)
+
+    def evaluate(self, ks: Optional[Sequence[int]] = None, split: Optional[str] = None):
+        """Re-run the spec's eval protocol (optionally overriding ks/split)."""
+        protocol = self.spec.eval
+        if ks is not None or split is not None:
+            protocol = type(protocol)(
+                split=split or protocol.split,
+                ks=tuple(ks) if ks is not None else protocol.ks,
+                exclude_train=protocol.exclude_train,
+            )
+        return protocol.run(self.model, self.dataset)
+
+    # ------------------------------------------------------------------
+    # Artifact store
+    # ------------------------------------------------------------------
+    def save(self, artifacts_dir: str) -> str:
+        """Write the full artifact directory; returns its path."""
+        from .. import __version__  # deferred: repro/__init__ imports this package
+
+        os.makedirs(artifacts_dir, exist_ok=True)
+        _write_json(
+            os.path.join(artifacts_dir, SPEC_FILENAME),
+            {
+                "format_version": ARTIFACT_FORMAT_VERSION,
+                "repro_version": __version__,
+                "experiment": self.spec.to_dict(),
+            },
+        )
+        save_checkpoint(
+            self.model,
+            os.path.join(artifacts_dir, CHECKPOINT_FILENAME),
+            extra={"experiment": self.spec.name, "model": self.spec.model.to_dict()},
+        )
+
+        index_file = None
+        if self.spec.export:
+            try:
+                index = self.index
+            except ExportError as error:
+                warnings.warn(
+                    f"[{self.spec.name}] serving index skipped: {error}", stacklevel=2
+                )
+            else:
+                index.save(os.path.join(artifacts_dir, INDEX_FILENAME))
+                index_file = INDEX_FILENAME
+
+        train_summary = None
+        if self.train_result is not None:
+            curves = self.train_result.to_dict()
+            train_summary = {
+                key: value
+                for key, value in curves.items()
+                if key not in ("epoch_losses", "validation_history")
+            }
+            _write_json(
+                os.path.join(artifacts_dir, LOSS_CURVE_FILENAME),
+                {
+                    "epoch_losses": curves["epoch_losses"],
+                    "validation_history": curves["validation_history"],
+                },
+            )
+        _write_json(
+            os.path.join(artifacts_dir, METRICS_FILENAME),
+            {
+                "metrics": self.metrics,
+                "train": train_summary,
+                "eval": self.spec.eval.to_dict(),
+                "index": index_file,
+            },
+        )
+        self.artifacts_dir = artifacts_dir
+        return artifacts_dir
+
+    @classmethod
+    def load(cls, artifacts_dir: str) -> "Experiment":
+        """Rehydrate a saved experiment into a serving-ready handle.
+
+        The dataset is rebuilt from its spec (synthetic generation is
+        deterministic), the model is reconstructed through the registry and
+        restored from the checkpoint, and the saved index is loaded if
+        present (otherwise it is re-exported lazily on first use).
+        """
+        spec_path = os.path.join(artifacts_dir, SPEC_FILENAME)
+        if not os.path.exists(spec_path):
+            raise FileNotFoundError(
+                f"{artifacts_dir!r} is not an experiment artifact directory "
+                f"(missing {SPEC_FILENAME})"
+            )
+        payload = _read_json(spec_path)
+        version = payload.get("format_version", 1)
+        if version > ARTIFACT_FORMAT_VERSION:
+            raise ValueError(
+                f"artifact format v{version} is newer than this reader "
+                f"(v{ARTIFACT_FORMAT_VERSION})"
+            )
+        spec = ExperimentSpec.from_dict(payload["experiment"])
+
+        dataset, _truth = spec.dataset.load()
+        model = spec.model.build(dataset)
+        load_checkpoint(model, os.path.join(artifacts_dir, CHECKPOINT_FILENAME))
+        model.eval()
+
+        metrics: Dict[str, float] = {}
+        train_result = None
+        metrics_path = os.path.join(artifacts_dir, METRICS_FILENAME)
+        if os.path.exists(metrics_path):
+            stored = _read_json(metrics_path)
+            metrics = stored.get("metrics") or {}
+            curves_path = os.path.join(artifacts_dir, LOSS_CURVE_FILENAME)
+            curves = _read_json(curves_path) if os.path.exists(curves_path) else {}
+            if stored.get("train") is not None or curves:
+                train_result = TrainResult.from_dict({**(stored.get("train") or {}), **curves})
+
+        index_path = os.path.join(artifacts_dir, INDEX_FILENAME)
+        index = EmbeddingIndex.load(index_path) if os.path.exists(index_path) else None
+        return cls(
+            spec,
+            dataset,
+            model,
+            train_result=train_result,
+            metrics=metrics,
+            index=index,
+            artifacts_dir=artifacts_dir,
+        )

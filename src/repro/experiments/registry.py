@@ -1,0 +1,180 @@
+"""Named model registry — the model-side twin of :mod:`repro.data.registry`.
+
+Every recommender in the repo registers a factory under a canonical slug
+(``pup``, ``bpr-mf``, ...) via the :func:`register_model` decorator, placed
+directly on the PUP variant constructors (:mod:`repro.core.variants`) and on
+the baseline classes (:mod:`repro.baselines`).  Everything downstream —
+benchmarks, examples, the ``python -m repro`` CLI, and
+:class:`~repro.experiments.spec.ExperimentSpec` — builds models through
+:func:`build_model` instead of importing factories by hand.
+
+Lookup is forgiving: names are case-insensitive, ``_``/``-`` are
+interchangeable, and the paper's display names ("BPR-MF", "PUP w/ p") are
+registered as aliases of the slugs.
+
+A :class:`ModelSpec` captures one buildable model configuration — registry
+name, JSON-safe hyper-parameters, and an init seed — and round-trips
+through ``to_dict``/``from_dict``, which is what makes experiment specs and
+artifact directories serializable.
+
+This module is deliberately free of imports from the rest of the package so
+model modules can import the decorator without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: canonical name -> {"factory", "display", "aliases", "description"}
+_MODELS: Dict[str, Dict[str, Any]] = {}
+#: normalized alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+
+#: Table II training-recipe hyper-parameters per model, in the paper's row
+#: order — the single source of truth shared by ``benchmarks/_harness.py``,
+#: ``examples/compare_baselines.py`` and the CLI ``compare`` subcommand.
+PAPER_HPARAMS: Dict[str, Dict[str, Any]] = {
+    "itempop": {},
+    "bpr-mf": {"dim": 64},
+    "padq": {"dim": 64, "price_weight": 8.0},
+    "fm": {"dim": 64},
+    "deepfm": {"dim": 32, "hidden": [64, 32]},
+    "gcmc": {"dim": 64},
+    "ngcf": {"dim": 64},
+    "pup": {"global_dim": 56, "category_dim": 8},
+}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_model(
+    name: str, aliases: Tuple[str, ...] = (), display: Optional[str] = None
+) -> Callable:
+    """Class/function decorator adding a model factory to the registry."""
+
+    def decorator(factory: Callable) -> Callable:
+        canonical = _normalize(name)
+        if canonical in _MODELS:
+            raise ValueError(f"model {canonical!r} is already registered")
+        doc = (inspect.getdoc(factory) or "").strip()
+        _MODELS[canonical] = {
+            "factory": factory,
+            "display": display or getattr(factory, "name", None) or name,
+            "aliases": tuple(aliases),
+            "description": doc.splitlines()[0] if doc else "",
+        }
+        for alias in (name, *aliases):
+            key = _normalize(alias)
+            existing = _ALIASES.get(key)
+            if existing is not None and existing != canonical:
+                raise ValueError(f"alias {alias!r} already points at {existing!r}")
+            _ALIASES[key] = canonical
+        return factory
+
+    return decorator
+
+
+def available_models() -> List[str]:
+    """Canonical names accepted by :func:`build_model`, sorted."""
+    return sorted(_MODELS)
+
+
+def model_info(name: str) -> Dict[str, Any]:
+    """Registry entry (display name, aliases, description) for ``name``."""
+    entry = _MODELS[resolve_model_name(name)]
+    return {k: v for k, v in entry.items() if k != "factory"}
+
+
+def model_display_name(name: str) -> str:
+    """The paper's table label for a registered model ("BPR-MF", "PUP w/ p")."""
+    return _MODELS[resolve_model_name(name)]["display"]
+
+
+def resolve_model_name(name: str) -> str:
+    """Canonical registry name for ``name`` (alias- and case-insensitive)."""
+    canonical = _ALIASES.get(_normalize(name))
+    if canonical is None:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    return canonical
+
+
+def build_model(name: str, dataset, seed: Optional[int] = None, **hparams):
+    """Construct a registered model on ``dataset``.
+
+    ``seed`` feeds the factory's ``rng`` argument (models without one, like
+    ItemPop, simply ignore it).  The constructed model carries a
+    ``model_spec`` attribute recording how to rebuild it — unless a live
+    ``rng`` object was passed directly, which is not serializable.
+    """
+    canonical = resolve_model_name(name)
+    factory = _MODELS[canonical]["factory"]
+    kwargs = dict(hparams)
+    parameters = inspect.signature(factory).parameters
+    for key in hparams:
+        if key not in parameters and not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        ):
+            raise TypeError(f"model {canonical!r} has no hyper-parameter {key!r}")
+    if "rng" in parameters and "rng" not in kwargs and seed is not None:
+        kwargs["rng"] = np.random.default_rng(seed)
+    model = factory(dataset, **kwargs)
+    model.model_spec = (
+        None if "rng" in hparams else ModelSpec(canonical, hparams, seed=seed)
+    )
+    return model
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonicalize to JSON-representable types so dict round-trips are exact."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"hyper-parameter value {value!r} is not JSON-serializable")
+
+
+@dataclass
+class ModelSpec:
+    """One buildable model configuration: registry name + hparams + seed."""
+
+    name: str
+    hparams: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        self.name = resolve_model_name(self.name)
+        self.hparams = _jsonify(dict(self.hparams))
+        if self.seed is not None:
+            self.seed = int(self.seed)
+
+    def build(self, dataset):
+        """Construct the model this spec describes."""
+        return build_model(self.name, dataset, seed=self.seed, **self.hparams)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "hparams": dict(self.hparams), "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModelSpec":
+        unknown = set(payload) - {"name", "hparams", "seed"}
+        if unknown:
+            raise ValueError(f"unknown ModelSpec fields: {sorted(unknown)}")
+        return cls(
+            name=payload["name"],
+            hparams=dict(payload.get("hparams") or {}),
+            seed=payload.get("seed"),
+        )

@@ -1,0 +1,54 @@
+"""Execute an :class:`~repro.experiments.spec.ExperimentSpec` end to end.
+
+``run`` is the one-call pipeline that the examples, benchmarks, and the
+``python -m repro`` CLI all share: load dataset → build model through the
+registry → train → evaluate → (optionally) export the serving index and
+write the artifact directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..train.trainer import train_model
+from .artifacts import Experiment
+from .registry import model_display_name
+from .spec import ExperimentSpec
+
+
+def run(
+    spec: Union[ExperimentSpec, Dict],
+    artifacts_dir: Optional[str] = None,
+    verbose: bool = False,
+) -> Experiment:
+    """Run one experiment; returns the live :class:`Experiment` handle.
+
+    ``spec`` may be an :class:`ExperimentSpec` or its ``to_dict`` form.
+    With ``artifacts_dir`` set, the full artifact directory (spec,
+    checkpoint, index, metrics, loss curve) is written before returning.
+    """
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+
+    dataset, _truth = spec.dataset.load()
+    if verbose:
+        print(f"[{spec.name}] dataset {spec.dataset.name}: {dataset.summary()}")
+    model = spec.model.build(dataset)
+    if verbose:
+        print(
+            f"[{spec.name}] training {model_display_name(spec.model.name)} "
+            f"({model.num_parameters()} parameters) for {spec.train.epochs} epochs"
+        )
+    train_result = train_model(model, dataset, spec.train)
+    model.eval()
+    metrics = spec.eval.run(model, dataset)
+    if verbose:
+        summary = "  ".join(f"{name}={value:.4f}" for name, value in metrics.items())
+        print(f"[{spec.name}] {summary}")
+
+    experiment = Experiment(spec, dataset, model, train_result=train_result, metrics=metrics)
+    if artifacts_dir is not None:
+        experiment.save(artifacts_dir)
+        if verbose:
+            print(f"[{spec.name}] artifacts -> {artifacts_dir}")
+    return experiment

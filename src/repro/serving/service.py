@@ -137,6 +137,11 @@ class RecommenderService:
         self._queue: List[Tuple[Request, PendingRecommendation]] = []
         self.stats = ServingStats(clock=self._clock)
 
+    @classmethod
+    def from_path(cls, path: str, **kwargs) -> "RecommenderService":
+        """Stand up a service from a saved index archive (what a replica does)."""
+        return cls(EmbeddingIndex.load(path), **kwargs)
+
     # ------------------------------------------------------------------
     # Request entry points
     # ------------------------------------------------------------------

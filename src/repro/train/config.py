@@ -9,8 +9,8 @@ smaller than the originals and converge much earlier).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Sequence
 
 
 @dataclass
@@ -32,6 +32,8 @@ class TrainConfig:
     verbose: bool = False
 
     def __post_init__(self) -> None:
+        # Canonicalize so configs compare equal across JSON round-trips.
+        self.lr_milestones = tuple(int(m) for m in self.lr_milestones)
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:
@@ -48,3 +50,24 @@ class TrainConfig:
             raise ValueError("early stopping requires eval_every > 0")
         if self.loss not in ("bpr", "bpr_eq4"):
             raise ValueError(f"loss must be 'bpr' or 'bpr_eq4', got {self.loss!r}")
+
+    # ------------------------------------------------------------------
+    # Serialization (used by repro.experiments specs and artifact dirs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        payload = asdict(self)
+        payload["lr_milestones"] = [int(m) for m in self.lr_milestones]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TrainConfig":
+        """Rebuild a config serialized by :meth:`to_dict` (validates fields)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown TrainConfig fields: {sorted(unknown)}")
+        payload = dict(payload)
+        if "lr_milestones" in payload:
+            payload["lr_milestones"] = tuple(int(m) for m in payload["lr_milestones"])
+        return cls(**payload)

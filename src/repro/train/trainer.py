@@ -37,6 +37,40 @@ class TrainResult:
             raise ValueError("no epochs were run")
         return self.epoch_losses[-1]
 
+    def to_dict(self) -> Dict:
+        """JSON-safe summary of the run.
+
+        When validation tracking is off, ``best_metric``/``best_epoch`` keep
+        their ``-inf``/``-1`` sentinels in memory but serialize as ``None``:
+        ``-Infinity`` is not valid JSON and a fake epoch ``-1`` would be
+        indistinguishable from real data in metrics files.
+        """
+        tracked = np.isfinite(self.best_metric)
+        return {
+            "epoch_losses": [float(loss) for loss in self.epoch_losses],
+            "validation_history": [
+                {name: float(value) for name, value in metrics.items()}
+                for metrics in self.validation_history
+            ],
+            "best_metric": float(self.best_metric) if tracked else None,
+            "best_epoch": int(self.best_epoch) if self.best_epoch >= 0 else None,
+            "epochs_run": int(self.epochs_run),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TrainResult":
+        """Inverse of :meth:`to_dict` (restores the in-memory sentinels)."""
+        result = cls(
+            epoch_losses=list(payload.get("epoch_losses") or []),
+            validation_history=list(payload.get("validation_history") or []),
+            epochs_run=int(payload.get("epochs_run") or 0),
+        )
+        if payload.get("best_metric") is not None:
+            result.best_metric = float(payload["best_metric"])
+        if payload.get("best_epoch") is not None:
+            result.best_epoch = int(payload["best_epoch"])
+        return result
+
 
 class Trainer:
     """Trains a :class:`Recommender` on a :class:`Dataset` with BPR."""

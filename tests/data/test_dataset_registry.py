@@ -1,0 +1,82 @@
+"""Dataset registry: cache-key canonicalization regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import available_datasets, clear_cache, load_dataset
+from repro.data import registry
+
+
+def test_available_datasets_is_a_sorted_list_of_str():
+    names = available_datasets()
+    assert isinstance(names, list)
+    assert all(isinstance(name, str) for name in names)
+    assert names == sorted(names)
+    assert {"yelp", "beibei", "amazon"} <= set(names)
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load_dataset("netflix")
+
+
+def test_cache_key_hashes_list_and_array_kwargs():
+    """Regression: list/array kwarg values used to make the key unhashable."""
+    key = registry.cache_key("yelp", 0, 1.0, {"levels": [1, 2], "table": np.arange(3)})
+    assert hash(key) is not None
+    same = registry.cache_key("yelp", 0, 1.0, {"table": np.arange(3), "levels": [1, 2]})
+    assert key == same  # kwarg order must not matter
+
+
+def test_cache_key_distinguishes_values_and_container_types():
+    base = registry.cache_key("yelp", 0, 1.0, {"levels": [1, 2]})
+    assert base != registry.cache_key("yelp", 0, 1.0, {"levels": [1, 3]})
+    assert base != registry.cache_key("yelp", 0, 1.0, {"levels": (1, 2)})
+    assert base != registry.cache_key("yelp", 0, 1.0, {"levels": [[1], [2]]})
+    arrays = registry.cache_key("yelp", 0, 1.0, {"t": np.array([1, 2])})
+    assert arrays != registry.cache_key("yelp", 0, 1.0, {"t": np.array([1, 2], dtype=np.float64)})
+
+
+def test_cache_key_distinguishes_int_and_str_dict_keys():
+    int_keyed = registry.cache_key("yelp", 0, 1.0, {"table": {1: 0.5}})
+    str_keyed = registry.cache_key("yelp", 0, 1.0, {"table": {"1": 0.5}})
+    assert int_keyed != str_keyed
+
+
+def test_cache_key_handles_nested_dicts_and_scalars():
+    key = registry.cache_key(
+        "yelp", 0, 1.0, {"cfg": {"b": np.int64(2), "a": [1.5, True]}}
+    )
+    same = registry.cache_key("yelp", 0, 1.0, {"cfg": {"a": [1.5, True], "b": 2}})
+    assert key == same
+
+
+def test_load_dataset_caches_calls_with_container_kwargs():
+    """End to end: a builder taking a list kwarg is cached, not rebuilt."""
+    calls = []
+
+    def toy_builder(seed=0, scale=1.0, levels=None):
+        calls.append((seed, scale, tuple(levels or ())))
+        return ("dataset", tuple(levels or ())), ("truth",)
+
+    registry._BUILDERS["_toy"] = toy_builder
+    try:
+        clear_cache()
+        first = load_dataset("_toy", levels=[1, 2])
+        second = load_dataset("_toy", levels=[1, 2])
+        assert first is second
+        assert len(calls) == 1
+        load_dataset("_toy", levels=[1, 3])
+        assert len(calls) == 2
+    finally:
+        del registry._BUILDERS["_toy"]
+        clear_cache()
+
+
+def test_load_dataset_cache_still_keys_on_seed_and_scale():
+    clear_cache()
+    a, _ = load_dataset("yelp", scale=0.2)
+    b, _ = load_dataset("yelp", scale=0.2)
+    c, _ = load_dataset("yelp", scale=0.2, seed=1)
+    assert a is b
+    assert a is not c

@@ -1,0 +1,144 @@
+"""The run() pipeline and artifact-directory rehydration guarantees."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import Experiment, ExperimentSpec, run
+from repro.experiments.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    CHECKPOINT_FILENAME,
+    INDEX_FILENAME,
+    LOSS_CURVE_FILENAME,
+    METRICS_FILENAME,
+    SPEC_FILENAME,
+)
+from repro.serving import ExportError
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """One tiny PUP experiment, run once and shared by every test here."""
+    directory = str(tmp_path_factory.mktemp("experiment"))
+    spec = ExperimentSpec.create(
+        "pup",
+        "yelp",
+        scale=0.2,
+        hparams={"global_dim": 8, "category_dim": 4},
+        epochs=2,
+        lr_milestones=[],
+        ks=(5, 10),
+    )
+    experiment = run(spec, artifacts_dir=directory)
+    return directory, experiment
+
+
+def test_run_writes_every_artifact(artifacts):
+    directory, _ = artifacts
+    expected = {
+        SPEC_FILENAME, CHECKPOINT_FILENAME, INDEX_FILENAME,
+        METRICS_FILENAME, LOSS_CURVE_FILENAME,
+    }
+    assert expected <= set(os.listdir(directory))
+
+
+def test_spec_json_is_versioned_and_faithful(artifacts):
+    directory, experiment = artifacts
+    with open(os.path.join(directory, SPEC_FILENAME)) as handle:
+        payload = json.load(handle)
+    assert payload["format_version"] == ARTIFACT_FORMAT_VERSION
+    assert ExperimentSpec.from_dict(payload["experiment"]) == experiment.spec
+
+
+def test_metrics_json_nulls_untracked_validation_sentinels(artifacts):
+    directory, _ = artifacts
+    with open(os.path.join(directory, METRICS_FILENAME)) as handle:
+        stored = json.load(handle)  # also proves it is strictly valid JSON
+    assert stored["train"]["best_metric"] is None
+    assert stored["train"]["best_epoch"] is None
+    assert stored["train"]["epochs_run"] == 2
+    assert stored["index"] == INDEX_FILENAME
+    assert set(stored["metrics"]) == {"Recall@5", "NDCG@5", "Recall@10", "NDCG@10"}
+
+
+def test_loss_curve_has_one_point_per_epoch(artifacts):
+    directory, experiment = artifacts
+    with open(os.path.join(directory, LOSS_CURVE_FILENAME)) as handle:
+        curves = json.load(handle)
+    assert curves["epoch_losses"] == [float(x) for x in experiment.train_result.epoch_losses]
+    assert len(curves["epoch_losses"]) == 2
+
+
+def test_rehydrated_experiment_matches_in_process_run(artifacts):
+    directory, experiment = artifacts
+    reloaded = Experiment.load(directory)
+    assert reloaded.spec == experiment.spec
+    assert reloaded.metrics == pytest.approx(experiment.metrics)
+    assert reloaded.train_result.epochs_run == experiment.train_result.epochs_run
+    for name, array in experiment.model.state_dict().items():
+        np.testing.assert_array_equal(array, reloaded.model.state_dict()[name])
+
+
+def test_rehydrated_serving_topk_is_bit_identical(artifacts):
+    """The acceptance-criterion identity: load() -> served top-K == topk_rankings."""
+    directory, experiment = artifacts
+    users = list(range(10))
+    expected = experiment.topk(users, k=10)
+
+    reloaded = Experiment.load(directory)
+    service = reloaded.service(default_k=10)
+    for user, recommendation in zip(users, service.recommend_many(users)):
+        np.testing.assert_array_equal(recommendation.items, expected[user])
+
+
+def test_rehydrated_evaluate_reproduces_stored_metrics(artifacts):
+    directory, _ = artifacts
+    reloaded = Experiment.load(directory)
+    assert reloaded.evaluate() == pytest.approx(reloaded.metrics, abs=0)
+
+
+def test_export_false_skips_index(tmp_path):
+    spec = ExperimentSpec.create(
+        "bpr-mf", "yelp", scale=0.2, hparams={"dim": 8}, epochs=1, lr_milestones=[],
+        ks=(5,), export=False,
+    )
+    experiment = run(spec, artifacts_dir=str(tmp_path))
+    assert not os.path.exists(tmp_path / INDEX_FILENAME)
+    # the index is still reachable lazily from the live handle
+    assert experiment.index.n_users == experiment.dataset.n_users
+
+
+def test_non_factorizable_model_warns_and_still_reloads(tmp_path):
+    spec = ExperimentSpec.create(
+        "deepfm", "yelp", scale=0.2, hparams={"dim": 4, "hidden": [8]},
+        epochs=1, lr_milestones=[], ks=(5,),
+    )
+    with pytest.warns(UserWarning, match="serving index skipped"):
+        experiment = run(spec, artifacts_dir=str(tmp_path))
+    assert not os.path.exists(tmp_path / INDEX_FILENAME)
+
+    reloaded = Experiment.load(str(tmp_path))
+    assert reloaded.metrics == pytest.approx(experiment.metrics)
+    with pytest.raises(ExportError):
+        reloaded.service()
+
+
+def test_load_rejects_newer_format(artifacts, tmp_path):
+    directory, _ = artifacts
+    spec_path = os.path.join(directory, SPEC_FILENAME)
+    with open(spec_path) as handle:
+        payload = json.load(handle)
+    payload["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+    clone = tmp_path / "newer"
+    clone.mkdir()
+    with open(clone / SPEC_FILENAME, "w") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(ValueError, match="newer than this reader"):
+        Experiment.load(str(clone))
+
+
+def test_load_requires_spec_json(tmp_path):
+    with pytest.raises(FileNotFoundError, match="artifact directory"):
+        Experiment.load(str(tmp_path))

@@ -1,0 +1,50 @@
+"""TrainConfig / TrainResult serialization, including the -inf sentinel fix."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.train import TrainConfig
+from repro.train.trainer import TrainResult
+
+
+def test_train_result_untracked_sentinels_serialize_as_null():
+    result = TrainResult(epoch_losses=[0.9, 0.7], epochs_run=2)
+    payload = result.to_dict()
+    assert payload["best_metric"] is None
+    assert payload["best_epoch"] is None
+    # strict JSON: -Infinity would blow up a strict parser
+    text = json.dumps(payload)
+    assert "Infinity" not in text
+    assert json.loads(text)["best_metric"] is None
+
+
+def test_train_result_tracked_values_roundtrip():
+    result = TrainResult(
+        epoch_losses=[0.5, 0.4],
+        validation_history=[{"Recall@5": 0.1}, {"Recall@5": 0.2}],
+        best_metric=0.2,
+        best_epoch=2,
+        epochs_run=2,
+    )
+    restored = TrainResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored == result
+
+
+def test_train_result_from_dict_restores_sentinels():
+    restored = TrainResult.from_dict(
+        {"epoch_losses": [1.0], "best_metric": None, "best_epoch": None, "epochs_run": 1}
+    )
+    assert restored.best_metric == -np.inf
+    assert restored.best_epoch == -1
+
+
+def test_train_config_roundtrip_and_validation():
+    config = TrainConfig(epochs=5, lr_milestones=[2, 4], eval_every=1, eval_k=5)
+    assert TrainConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+    with pytest.raises(ValueError, match="unknown TrainConfig"):
+        TrainConfig.from_dict({"momentum": 0.9})
+    # from_dict still runs __post_init__ validation
+    with pytest.raises(ValueError, match="epochs"):
+        TrainConfig.from_dict({"epochs": 0})
