@@ -13,7 +13,9 @@ Public API tour:
 * :mod:`repro.experiments` — model registry, declarative experiment specs,
   artifact store (also the engine behind the ``python -m repro`` CLI)
 * :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
-* :mod:`repro.nn`     — the NumPy autograd substrate
+* :mod:`repro.nn`     — the NumPy autograd substrate (precision policy,
+  fused kernels)
+* :mod:`repro.profiling` — scoped timers/counters behind ``TrainResult.profile``
 
 Quickstart (declarative experiment API)::
 
@@ -39,9 +41,9 @@ The same pipeline is reachable from the shell: ``python -m repro train
 --model pup --dataset yelp`` (see ``python -m repro --help``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analysis, baselines, core, data, eval, experiments, graph, nn, serving, train
+from . import analysis, baselines, core, data, eval, experiments, graph, nn, profiling, serving, train
 from .data.registry import available_datasets, load_dataset
 from .experiments import (
     Experiment,
@@ -51,8 +53,14 @@ from .experiments import (
     build_model,
 )
 from .experiments import run as run_experiment
+from .nn import precision, set_default_dtype
+from .profiling import Profiler
 
 __all__ = [
+    "precision",
+    "set_default_dtype",
+    "Profiler",
+    "profiling",
     "analysis",
     "baselines",
     "core",

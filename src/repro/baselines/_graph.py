@@ -8,11 +8,13 @@ import scipy.sparse as sp
 from ..data.dataset import Dataset
 
 
-def bipartite_normalized_adjacency(dataset: Dataset) -> sp.csr_matrix:
+def bipartite_normalized_adjacency(dataset: Dataset, dtype=None) -> sp.csr_matrix:
     """Row-normalized ``A + I`` over the (users + items) bipartite graph.
 
     Node layout: ``[0, n_users)`` users, ``[n_users, n_users + n_items)``
     items — the same convention GC-MC and NGCF use on the user-item graph.
+    ``dtype`` casts the CSR values (pass the encoder's dtype so a float32
+    model propagates in float32).
     """
     n = dataset.n_users + dataset.n_items
     rows = dataset.train.users
@@ -23,4 +25,7 @@ def bipartite_normalized_adjacency(dataset: Dataset) -> sp.csr_matrix:
     matrix.data[:] = 1.0
     matrix = (matrix + sp.identity(n, format="csr")).tocsr()
     row_sums = np.asarray(matrix.sum(axis=1)).ravel()
-    return (sp.diags(1.0 / row_sums) @ matrix).tocsr()
+    normalized = (sp.diags(1.0 / row_sums) @ matrix).tocsr()
+    if dtype is not None:
+        normalized = normalized.astype(np.dtype(dtype))
+    return normalized

@@ -44,10 +44,7 @@ class BPRMF(Recommender):
         neg = (user_emb * neg_emb).sum(axis=1)
         return pos, neg, [user_emb, pos_emb, neg_emb]
 
-    def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
-        return self.user_embedding.weight.data[users] @ self.item_embedding.weight.data.T
-
+    # predict_scores inherited: frozen branches + the shared scoring kernel.
     def export_embeddings(self) -> List[ScoreBranch]:
         return [
             ScoreBranch(

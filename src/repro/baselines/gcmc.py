@@ -42,10 +42,13 @@ class GCMC(Recommender):
         self.embedding = Embedding(self.n_users + self.n_items, dim, rng=rng, std=embedding_std)
         self.transform = Linear(dim, dim, rng=rng, bias=False)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
-        self._adjacency = bipartite_normalized_adjacency(dataset)
+        self._adjacency = bipartite_normalized_adjacency(
+            dataset, dtype=self.embedding.weight.data.dtype
+        )
+        self._adjacency_t = self._adjacency.T.tocsr()
 
     def _propagate(self) -> Tensor:
-        out = self.embedding.all().sparse_matmul(self._adjacency)
+        out = self.embedding.all().sparse_matmul(self._adjacency, transpose=self._adjacency_t)
         out = self.transform(out).tanh()
         if self.dropout is not None:
             out = self.dropout(out)
@@ -73,11 +76,7 @@ class GCMC(Recommender):
         neg = (user_rows * neg_rows).sum(axis=1)
         return pos, neg, [user_rows, pos_rows, neg_rows]
 
-    def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
-        table = self._propagate_inference()
-        return table[users] @ table[self.n_users :].T
-
+    # predict_scores inherited: frozen branches + the shared scoring kernel.
     def export_embeddings(self) -> List[ScoreBranch]:
         table = self._propagate_inference()
         return [ScoreBranch(user=table[: self.n_users], item=table[self.n_users :])]

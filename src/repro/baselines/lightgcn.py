@@ -22,7 +22,7 @@ from ..data.dataset import Dataset
 from ..nn import Embedding, Tensor
 
 
-def _symmetric_normalized_bipartite(dataset: Dataset) -> sp.csr_matrix:
+def _symmetric_normalized_bipartite(dataset: Dataset, dtype=None) -> sp.csr_matrix:
     """``D^-1/2 (A) D^-1/2`` over the user-item bipartite graph (no self-loops,
     per the LightGCN formulation)."""
     n = dataset.n_users + dataset.n_items
@@ -35,7 +35,10 @@ def _symmetric_normalized_bipartite(dataset: Dataset) -> sp.csr_matrix:
     degrees = np.asarray(matrix.sum(axis=1)).ravel()
     inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
     scale = sp.diags(inv_sqrt)
-    return (scale @ matrix @ scale).tocsr()
+    normalized = (scale @ matrix @ scale).tocsr()
+    if dtype is not None:
+        normalized = normalized.astype(np.dtype(dtype))
+    return normalized
 
 
 @register_model("lightgcn")
@@ -58,13 +61,17 @@ class LightGCN(Recommender):
         rng = rng or np.random.default_rng()
         self.n_layers = n_layers
         self.embedding = Embedding(self.n_users + self.n_items, dim, rng=rng, std=embedding_std)
-        self._adjacency = _symmetric_normalized_bipartite(dataset)
+        self._adjacency = _symmetric_normalized_bipartite(
+            dataset, dtype=self.embedding.weight.data.dtype
+        )
 
     def _propagate(self) -> Tensor:
         layer = self.embedding.all()
         total = layer
         for _ in range(self.n_layers):
-            layer = layer.sparse_matmul(self._adjacency)
+            # The symmetrically-normalized adjacency is its own transpose, so
+            # the backward pass reuses the forward matrix.
+            layer = layer.sparse_matmul(self._adjacency, transpose=self._adjacency)
             total = total + layer
         return total * (1.0 / (self.n_layers + 1))
 
@@ -94,11 +101,7 @@ class LightGCN(Recommender):
         neg = (user_rows * neg_rows).sum(axis=1)
         return pos, neg, [user_rows, pos_rows, neg_rows]
 
-    def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
-        table = self._propagate_inference()
-        return table[users] @ table[self.n_users :].T
-
+    # predict_scores inherited: frozen branches + the shared scoring kernel.
     def export_embeddings(self) -> List[ScoreBranch]:
         table = self._propagate_inference()
         return [ScoreBranch(user=table[: self.n_users], item=table[self.n_users :])]

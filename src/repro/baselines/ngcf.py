@@ -63,7 +63,10 @@ class NGCF(Recommender):
         self.w_aggregate = Linear(dim, dim, rng=rng, bias=False)
         self.w_interact = Linear(dim, dim, rng=rng, bias=False)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
-        self._adjacency = bipartite_normalized_adjacency(dataset)
+        self._adjacency = bipartite_normalized_adjacency(
+            dataset, dtype=self.user_embedding.weight.data.dtype
+        )
+        self._adjacency_t = self._adjacency.T.tocsr()
 
     # ------------------------------------------------------------------
     def _input_table(self) -> Tensor:
@@ -75,7 +78,7 @@ class NGCF(Recommender):
 
     def _propagate(self) -> Tensor:
         e0 = self._input_table()
-        aggregated = e0.sparse_matmul(self._adjacency)
+        aggregated = e0.sparse_matmul(self._adjacency, transpose=self._adjacency_t)
         interact = aggregated * e0
         e1 = _leaky_relu(self.w_aggregate(aggregated) + self.w_interact(interact))
         if self.dropout is not None:
@@ -111,11 +114,7 @@ class NGCF(Recommender):
         neg = (user_rows * neg_rows).sum(axis=1)
         return pos, neg, [user_rows, pos_rows, neg_rows]
 
-    def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
-        table = self._propagate_inference()
-        return table[users] @ table[self.n_users :].T
-
+    # predict_scores inherited: frozen branches + the shared scoring kernel.
     def export_embeddings(self) -> List[ScoreBranch]:
         table = self._propagate_inference()
         return [ScoreBranch(user=table[: self.n_users], item=table[self.n_users :])]

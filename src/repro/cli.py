@@ -104,6 +104,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
                 ("--split", args.split),
                 ("--hparam", args.hparam),
                 ("--name", args.name),
+                ("--precision", args.precision),
             )
             if value is not None
         ] + (["--no-export"] if args.no_export else [])
@@ -138,6 +139,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         split=args.split or "test",
         export=not args.no_export,
         name=args.name,
+        precision=args.precision or "float64",
         **train_kwargs,
     )
 
@@ -146,6 +148,22 @@ def cmd_train(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     artifacts_dir = args.out or os.path.join("runs", spec.name)
     experiment = run(spec, artifacts_dir=artifacts_dir, verbose=not args.quiet)
+    result = experiment.train_result
+    if result is not None and result.triples_per_sec:
+        profile = result.profile
+        phases = profile.get("phases", {})
+        # Shares over pure-train time (summary()'s shares include validation,
+        # which the quoted train_seconds window deliberately excludes).
+        train_seconds = profile.get("train_seconds") or 0.0
+        breakdown = " ".join(
+            f"{name} {phases[name]['seconds'] / train_seconds:.0%}"
+            for name in ("sampling", "forward", "backward", "step")
+            if name in phases and train_seconds > 0
+        )
+        print(
+            f"\ntraining throughput: {result.triples_per_sec:,.0f} triples/s "
+            f"over {train_seconds:.2f}s ({breakdown})"
+        )
     print(f"\n{spec.name} metrics ({spec.eval.split}):")
     _print_metrics(experiment.metrics)
     print(f"artifacts: {artifacts_dir}")
@@ -281,6 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--name", help="experiment name (default: <model>_<dataset>)")
     train.add_argument("--out", help="artifact directory (default: runs/<name>)")
     train.add_argument("--no-export", action="store_true", help="skip the serving index")
+    train.add_argument(
+        "--precision",
+        choices=("float32", "float64"),
+        help="compute precision for build+train+export, recorded in spec.json "
+        "(default float64; float32 is ~2x training throughput, see "
+        "docs/performance.md)",
+    )
     train.add_argument("--quiet", action="store_true")
     train.set_defaults(func=cmd_train)
 

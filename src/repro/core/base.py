@@ -23,6 +23,20 @@ from ..data.dataset import Dataset
 from ..nn import Module, Tensor
 
 
+def _branch_array(value: np.ndarray) -> np.ndarray:
+    """Canonicalize a branch factor, preserving a supported float dtype.
+
+    float32 factors stay float32 (the precision policy threads through to
+    serving); anything else — lists, integer arrays — is coerced to float64.
+    No copy when the input is already C-contiguous in a supported dtype, so
+    transient scoring (the default ``predict_scores``) stays zero-copy; the
+    serving exporter deep-copies via :meth:`ScoreBranch.frozen_copy`.
+    """
+    value = np.asarray(value)
+    dtype = value.dtype if value.dtype in (np.dtype(np.float32), np.dtype(np.float64)) else np.float64
+    return np.ascontiguousarray(value, dtype=dtype)
+
+
 @dataclass
 class ScoreBranch:
     """One additive term of a factorized score function.
@@ -47,9 +61,12 @@ class ScoreBranch:
     weight: float = 1.0
 
     def __post_init__(self) -> None:
-        # Always copy: a frozen branch must not alias live model weights.
-        self.user = np.array(self.user, dtype=np.float64, order="C")
-        self.item = np.array(self.item, dtype=np.float64, order="C")
+        # May alias live model weights (e.g. BPR-MF exports its embedding
+        # tables directly) — fine for transient scoring; anything that
+        # *freezes* a branch must go through frozen_copy(), which the
+        # serving exporter does.
+        self.user = _branch_array(self.user)
+        self.item = _branch_array(self.item)
         if self.user.ndim != 2 or self.item.ndim != 2:
             raise ValueError("user/item factors must be 2-D")
         if self.user.shape[1] != self.item.shape[1]:
@@ -57,13 +74,54 @@ class ScoreBranch:
                 f"user/item factor dims differ: {self.user.shape[1]} vs {self.item.shape[1]}"
             )
         if self.item_const is not None:
-            self.item_const = np.array(self.item_const, dtype=np.float64)
+            self.item_const = _branch_array(self.item_const)
             if self.item_const.shape != (self.item.shape[0],):
                 raise ValueError("item_const must have shape (n_items,)")
         if self.user_const is not None:
-            self.user_const = np.array(self.user_const, dtype=np.float64)
+            self.user_const = _branch_array(self.user_const)
             if self.user_const.shape != (self.user.shape[0],):
                 raise ValueError("user_const must have shape (n_users,)")
+
+    def frozen_copy(self) -> "ScoreBranch":
+        """A deep copy guaranteed not to alias live model weights.
+
+        The serving exporter freezes branches through this, so an
+        :class:`~repro.serving.index.EmbeddingIndex` cannot be mutated by
+        continued training of the model it came from.
+        """
+        return ScoreBranch(
+            user=self.user.copy(),
+            item=self.item.copy(),
+            item_const=None if self.item_const is None else self.item_const.copy(),
+            user_const=None if self.user_const is None else self.user_const.copy(),
+            weight=self.weight,
+        )
+
+
+def score_branches(
+    branches: List[ScoreBranch], users: np.ndarray, start: int = 0, stop: Optional[int] = None
+) -> np.ndarray:
+    """Dense ``(len(users), stop - start)`` scores from branch factors.
+
+    THE scoring kernel: :meth:`Recommender.predict_scores` (live eval) and
+    :class:`~repro.serving.index.EmbeddingIndex` (frozen serving) both call
+    it, which is what guarantees exported indexes reproduce live scores
+    bit-for-bit — same operations, same order, one implementation.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    if stop is None:
+        stop = branches[0].item.shape[0]
+    total: Optional[np.ndarray] = None
+    for branch in branches:
+        part = branch.user[users] @ branch.item[start:stop].T
+        if branch.item_const is not None:
+            part = part + branch.item_const[None, start:stop]
+        if branch.user_const is not None:
+            part = part + branch.user_const[users][:, None]
+        if branch.weight != 1.0:
+            part = branch.weight * part
+        total = part if total is None else total + part
+    return total
 
 
 class Recommender(Module):
@@ -124,8 +182,16 @@ class Recommender(Module):
         return self.score_pairs(users, pos_items), self.score_pairs(users, neg_items), []
 
     def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        """Dense score matrix ``(len(users), n_items)`` for ranking (no grad)."""
-        raise NotImplementedError
+        """Dense score matrix ``(len(users), n_items)`` for ranking (no grad).
+
+        The default implementation freezes the score function through
+        :meth:`export_embeddings` and evaluates it with the shared
+        :func:`score_branches` kernel — the same code path serving uses —
+        so any model with a factorizable score gets live evaluation for
+        free, guaranteed consistent with its exported index.  Models with
+        non-factorizable scorers (DeepFM) override this directly.
+        """
+        return score_branches(self.export_embeddings(), users)
 
     def export_embeddings(self) -> List[ScoreBranch]:
         """Frozen factorization of the score function for offline serving.

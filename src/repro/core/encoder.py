@@ -9,6 +9,18 @@ where ``Â = row_normalize(A + I)`` (Eq. 5).  Feature-level dropout
 (Section IV-C) is applied to the propagated representations at training
 time.  ``n_layers`` stacks the propagation (the paper uses one layer; more
 are supported for ablations).
+
+The forward pass is split in two so the trainer and the serving exporter
+share one code path:
+
+* :meth:`GCNEncoder.propagate` — the full-graph propagation, producing the
+  complete node table (autograd :class:`~repro.nn.Tensor` for training,
+  plain NumPy via :meth:`propagate_inference` for export/eval);
+* :meth:`GCNEncoder.gather` — per-batch row lookup from a propagated table.
+
+``Â`` and its transpose (needed by every backward pass) are constant
+subgraphs: they are built once per encoder, in the encoder's precision,
+instead of per forward call.
 """
 
 from __future__ import annotations
@@ -45,9 +57,13 @@ class GCNEncoder(Module):
         self.n_layers = n_layers
         self.embedding = Embedding(graph.n_nodes, dim, rng=rng, std=embedding_std)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
-        self._adjacency = graph.normalized_adjacency(self_loops=self_loops)
+        dtype = self.embedding.weight.data.dtype
+        self._adjacency = graph.normalized_adjacency(self_loops=self_loops, dtype=dtype)
+        self._adjacency_t = graph.normalized_adjacency_transpose(
+            self_loops=self_loops, dtype=dtype
+        )
 
-    def __call__(self) -> Tensor:
+    def propagate(self) -> Tensor:
         """Propagated node representations, shape ``(n_nodes, dim)``.
 
         With ``n_layers=0`` this degrades to the raw embedding table (a
@@ -55,10 +71,18 @@ class GCNEncoder(Module):
         """
         out = self.embedding.all()
         for _ in range(self.n_layers):
-            out = out.sparse_matmul(self._adjacency).tanh()
+            out = out.sparse_matmul(self._adjacency, transpose=self._adjacency_t).tanh()
         if self.dropout is not None:
             out = self.dropout(out)
         return out
+
+    def __call__(self) -> Tensor:
+        return self.propagate()
+
+    @staticmethod
+    def gather(table: Tensor, node_ids: np.ndarray) -> Tensor:
+        """Batch lookup into a propagated table (gradient-scattering)."""
+        return table.gather_rows(node_ids)
 
     def propagate_inference(self) -> np.ndarray:
         """Pure-NumPy forward pass for evaluation (no graph recording)."""

@@ -68,8 +68,11 @@ class PUP(Recommender):
             if category_dim < 1:
                 raise ValueError(f"category_dim must be >= 1, got {category_dim}")
             graph_kwargs = dict(include_prices=True, include_categories=True, **profile_kwargs)
+            # Both branches propagate over the *same* structure; sharing one
+            # HeteroGraph lets its adjacency/transpose caches serve both
+            # encoders instead of being built twice.
             self.global_graph = HeteroGraph(dataset, **graph_kwargs)
-            self.category_graph = HeteroGraph(dataset, **graph_kwargs)
+            self.category_graph = self.global_graph
             self.global_encoder = GCNEncoder(
                 self.global_graph, global_dim, rng=rng, dropout=dropout,
                 n_layers=n_layers, self_loops=self_loops,
@@ -107,22 +110,28 @@ class PUP(Recommender):
     def _branch_features(
         self, table: Tensor, users: np.ndarray, items: np.ndarray, branch: str
     ) -> List[Tensor]:
-        """Gather the decoder's feature embeddings for one branch."""
-        user_rows = table.gather_rows(users)
+        """Gather the decoder's feature embeddings for one branch.
+
+        The full-graph propagation (``table``) happens once per step in
+        :meth:`GCNEncoder.propagate`; this is the per-batch ``gather`` half
+        of the encoder's propagate/gather split.
+        """
+        gather = GCNEncoder.gather
+        user_rows = gather(table, users)
         if branch == "global":
-            features = [user_rows, table.gather_rows(self._item_nodes[items])]
+            features = [user_rows, gather(table, self._item_nodes[items])]
             if self.use_price:
-                features.append(table.gather_rows(self._price_nodes_of_item[items]))
+                features.append(gather(table, self._price_nodes_of_item[items]))
             if self.use_category and not self.two_branch:
                 # Slim "w/ c" variant folds the category into the one decoder;
                 # the full model handles categories in the dedicated branch.
-                features.append(table.gather_rows(self._category_nodes_of_item[items]))
+                features.append(gather(table, self._category_nodes_of_item[items]))
             return features
         # category branch: user, category, price (items only bridge)
         return [
             user_rows,
-            table.gather_rows(self._category_nodes_of_item[items]),
-            table.gather_rows(self._price_nodes_of_item[items]),
+            gather(table, self._category_nodes_of_item[items]),
+            gather(table, self._price_nodes_of_item[items]),
         ]
 
     def _score_from_tables(
@@ -164,49 +173,18 @@ class PUP(Recommender):
         return pos_score, neg_score, pos_reg + neg_reg
 
     # ------------------------------------------------------------------
-    # Inference path (pure NumPy, vectorized over all items)
+    # Inference path (shared with serving)
     # ------------------------------------------------------------------
-    def predict_scores(self, users: np.ndarray) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
-        table = self.global_encoder.propagate_inference()
-        user_emb = table[users]
-        item_emb = table[self._item_nodes]
-
-        if self.two_branch:
-            price_emb = table[self._price_nodes_of_item]
-            # s_g = e_u·(e_i + e_p) + e_i·e_p
-            item_side = item_emb + price_emb
-            const = (item_emb * price_emb).sum(axis=1)
-            scores = user_emb @ item_side.T + const[None, :]
-
-            cat_table = self.category_encoder.propagate_inference()
-            cat_user = cat_table[users]
-            cat_emb = cat_table[self._category_nodes_of_item]
-            cat_price = cat_table[self._price_nodes_of_item]
-            cat_side = cat_emb + cat_price
-            cat_const = (cat_emb * cat_price).sum(axis=1)
-            scores = scores + self.alpha * (cat_user @ cat_side.T + cat_const[None, :])
-            return scores
-
-        # Single-branch slim variants: score = e_u·(sum of item-side features)
-        # + pairwise terms among the item-side features (constant per item).
-        extras = []
-        if self.use_price:
-            extras.append(table[self._price_nodes_of_item])
-        if self.use_category:
-            extras.append(table[self._category_nodes_of_item])
-        item_side = item_emb + np.add.reduce(extras) if extras else item_emb
-        if extras:
-            const = pairwise_interaction_numpy([item_emb] + extras)
-        else:
-            const = np.zeros(self.n_items)
-        return user_emb @ item_side.T + const[None, :]
+    # ``predict_scores`` is inherited from :class:`Recommender`: it freezes
+    # the score function via :meth:`export_embeddings` and evaluates it with
+    # the shared ``score_branches`` kernel, so live evaluation and the
+    # serving index are one code path (bit-identical by construction).
 
     def export_embeddings(self) -> List[ScoreBranch]:
         """Freeze both branches after one propagation pass.
 
-        The factors are exactly the arrays :meth:`predict_scores` folds into
-        its matmuls, so index scores reproduce live scores bit-for-bit.
+        The branch factors fold the per-item constants (``e_i · e_p`` etc.)
+        so that scoring reduces to dense matmuls over the frozen arrays.
         """
         table = self.global_encoder.propagate_inference()
         item_emb = table[self._item_nodes]
@@ -239,5 +217,5 @@ class PUP(Recommender):
         if extras:
             const = pairwise_interaction_numpy([item_emb] + extras)
         else:
-            const = np.zeros(self.n_items)
+            const = np.zeros(self.n_items, dtype=table.dtype)
         return [ScoreBranch(user=user_emb, item=item_side, item_const=const)]

@@ -2,8 +2,10 @@
 
 For each observed (user, item) pair the sampler draws ``rate`` unobserved
 items uniformly (the paper uses negative sampling rate 1).  Rejection
-sampling is vectorized: draw candidate items for the whole batch, re-draw
-only the collisions with the user's training positives.
+sampling is vectorized end to end: candidate items are drawn for the whole
+batch, membership in the user's training positives is tested against a
+sorted packed-key array with ``np.searchsorted`` (no per-element Python
+loop), and only the collisions are re-drawn.
 """
 
 from __future__ import annotations
@@ -24,31 +26,42 @@ class NegativeSampler:
         self.dataset = dataset
         self.rng = rng
         self.rate = rate
-        self._pos = dataset.train_positive_sets()
         if dataset.n_items <= 1:
             raise ValueError("negative sampling needs at least 2 items")
+        # Packed-key positive set: (user, item) -> user * n_items + item,
+        # deduplicated and sorted, so a batch membership test is one
+        # searchsorted over int64 keys.  Equivalent to a CSR (indptr,
+        # indices) pair but with the row lookup folded into the key.
+        n_items = dataset.n_items
+        keys = dataset.train.users.astype(np.int64) * n_items + dataset.train.items
+        self._pos_keys = np.unique(keys)
         # Guard against pathological users who interacted with everything.
-        for user, items in self._pos.items():
-            if len(items) >= dataset.n_items:
-                raise ValueError(f"user {user} has interacted with every item; cannot sample")
+        counts = np.bincount(self._pos_keys // n_items, minlength=dataset.n_users)
+        if counts.size and counts.max() >= n_items:
+            worst = int(np.argmax(counts))
+            raise ValueError(f"user {worst} has interacted with every item; cannot sample")
+
+    def _is_positive(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership of (user, item) pairs in the train positives."""
+        if len(self._pos_keys) == 0:
+            return np.zeros(len(users), dtype=bool)
+        candidates = users * np.int64(self.dataset.n_items) + items
+        slots = np.searchsorted(self._pos_keys, candidates)
+        slots_clipped = np.minimum(slots, len(self._pos_keys) - 1)
+        return (slots < len(self._pos_keys)) & (self._pos_keys[slots_clipped] == candidates)
 
     def sample_negatives(self, users: np.ndarray) -> np.ndarray:
         """One negative item per user in ``users`` (vectorized rejection)."""
         users = np.asarray(users, dtype=np.int64)
         negatives = self.rng.integers(0, self.dataset.n_items, size=len(users))
-        pending = np.array(
-            [item in self._pos.get(int(user), ()) for user, item in zip(users, negatives)]
-        )
+        pending = self._is_positive(users, negatives)
         # Each round re-draws only colliding entries; terminates with
         # probability 1 because every user has at least one non-positive item.
         while pending.any():
             redraw = self.rng.integers(0, self.dataset.n_items, size=int(pending.sum()))
             negatives[pending] = redraw
             idx = np.flatnonzero(pending)
-            still = np.array(
-                [negatives[i] in self._pos.get(int(users[i]), ()) for i in idx]
-            )
-            pending[idx] = still
+            pending[idx] = self._is_positive(users[idx], negatives[idx])
         return negatives
 
     def epoch_batches(

@@ -205,8 +205,14 @@ class Experiment:
             )
         spec = ExperimentSpec.from_dict(payload["experiment"])
 
+        from ..nn import precision  # deferred: keeps this module import-light
+
         dataset, _truth = spec.dataset.load()
-        model = spec.model.build(dataset)
+        # Rebuild in the recorded precision: a float32 experiment must come
+        # back as a float32 model, or live scores would drift from the saved
+        # float32 index.
+        with precision(spec.precision):
+            model = spec.model.build(dataset)
         load_checkpoint(model, os.path.join(artifacts_dir, CHECKPOINT_FILENAME))
         model.eval()
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Union
 
+from ..nn import precision
 from ..train.trainer import train_model
 from .artifacts import Experiment
 from .registry import model_display_name
@@ -33,15 +34,21 @@ def run(
     dataset, _truth = spec.dataset.load()
     if verbose:
         print(f"[{spec.name}] dataset {spec.dataset.name}: {dataset.summary()}")
-    model = spec.model.build(dataset)
-    if verbose:
-        print(
-            f"[{spec.name}] training {model_display_name(spec.model.name)} "
-            f"({model.num_parameters()} parameters) for {spec.train.epochs} epochs"
-        )
-    train_result = train_model(model, dataset, spec.train)
-    model.eval()
-    metrics = spec.eval.run(model, dataset)
+    # The spec's precision scopes build + train + eval + export, so the whole
+    # pipeline (including the frozen index) runs in the recorded dtype.
+    with precision(spec.precision):
+        model = spec.model.build(dataset)
+        if verbose:
+            print(
+                f"[{spec.name}] training {model_display_name(spec.model.name)} "
+                f"({model.num_parameters()} parameters, {spec.precision}) "
+                f"for {spec.train.epochs} epochs"
+            )
+        train_result = train_model(model, dataset, spec.train)
+        if verbose and train_result.triples_per_sec:
+            print(f"[{spec.name}] trained at {train_result.triples_per_sec:,.0f} triples/s")
+        model.eval()
+        metrics = spec.eval.run(model, dataset)
     if verbose:
         summary = "  ".join(f"{name}={value:.4f}" for name, value in metrics.items())
         print(f"[{spec.name}] {summary}")

@@ -122,6 +122,10 @@ class ExperimentSpec:
     eval: EvalSpec = field(default_factory=EvalSpec)
     export: bool = True
     name: Optional[str] = None
+    #: compute precision the whole pipeline (build + train + export) runs
+    #: under; recorded in spec.json so Experiment.load rebuilds the model in
+    #: the precision it was trained in (keeping live == index bit-identical)
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if isinstance(self.dataset, str):
@@ -129,6 +133,10 @@ class ExperimentSpec:
         if isinstance(self.model, str):
             self.model = ModelSpec(self.model)
         self.export = bool(self.export)
+        if self.precision not in ("float32", "float64"):
+            raise ValueError(
+                f"precision must be 'float32' or 'float64', got {self.precision!r}"
+            )
         if self.name is None:
             self.name = f"{self.model.name}_{self.dataset.name}"
 
@@ -150,6 +158,7 @@ class ExperimentSpec:
         exclude_train: bool = True,
         export: bool = True,
         name: Optional[str] = None,
+        precision: str = "float64",
         **train_kwargs,
     ) -> "ExperimentSpec":
         """Ergonomic constructor from plain names and keyword arguments.
@@ -172,6 +181,7 @@ class ExperimentSpec:
             eval=EvalSpec(split=split, ks=ks, exclude_train=exclude_train),
             export=export,
             name=name,
+            precision=precision,
         )
 
     # ------------------------------------------------------------------
@@ -185,11 +195,14 @@ class ExperimentSpec:
             "train": self.train.to_dict(),
             "eval": self.eval.to_dict(),
             "export": self.export,
+            "precision": self.precision,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentSpec":
-        unknown = set(payload) - {"name", "dataset", "model", "train", "eval", "export"}
+        unknown = set(payload) - {
+            "name", "dataset", "model", "train", "eval", "export", "precision",
+        }
         if unknown:
             raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
         return cls(
@@ -199,6 +212,8 @@ class ExperimentSpec:
             eval=EvalSpec.from_dict(payload.get("eval") or {}),
             export=payload.get("export", True),
             name=payload.get("name"),
+            # specs written before the precision policy existed are float64
+            precision=payload.get("precision", "float64"),
         )
 
     def to_json(self, indent: int = 2) -> str:

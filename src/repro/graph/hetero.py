@@ -176,6 +176,13 @@ class HeteroGraph:
 
         self._rows = np.concatenate(rows)
         self._cols = np.concatenate(cols)
+        # Constant-subgraph caches: the adjacency, its row-normalized forms
+        # and the degree norms never change after construction, so they are
+        # built at most once per (variant, dtype) instead of per forward.
+        # Cached matrices are shared — callers must treat them as read-only.
+        self._adjacency: Optional[sp.csr_matrix] = None
+        self._normalized: dict = {}
+        self._degrees: Optional[np.ndarray] = None
 
     @property
     def n_nodes(self) -> int:
@@ -188,34 +195,62 @@ class HeteroGraph:
 
     def adjacency(self) -> sp.csr_matrix:
         """Symmetric binary adjacency A (no self-loops, duplicates collapsed)."""
-        n = self.n_nodes
-        data = np.ones(len(self._rows))
-        upper = sp.coo_matrix((data, (self._rows, self._cols)), shape=(n, n))
-        matrix = upper + upper.T
-        matrix = matrix.tocsr()
-        matrix.data[:] = 1.0
-        return matrix
+        if self._adjacency is None:
+            n = self.n_nodes
+            data = np.ones(len(self._rows))
+            upper = sp.coo_matrix((data, (self._rows, self._cols)), shape=(n, n))
+            matrix = upper + upper.T
+            matrix = matrix.tocsr()
+            matrix.data[:] = 1.0
+            self._adjacency = matrix
+        return self._adjacency
 
-    def normalized_adjacency(self, self_loops: bool = True) -> sp.csr_matrix:
+    def normalized_adjacency(self, self_loops: bool = True, dtype=None) -> sp.csr_matrix:
         """The paper's Eq. 5: ``Â = f(A + I)`` where f row-averages.
 
         With ``self_loops=True`` (the paper's choice, following SGC [26])
         every node has at least its own loop so no division by zero occurs.
         ``self_loops=False`` exists for the design ablation — isolated nodes
         then keep an all-zero row.
+
+        ``dtype`` casts the CSR values (e.g. ``float32`` for a float32
+        encoder so the propagation does not silently promote); results are
+        cached per ``(self_loops, dtype)``.
         """
-        matrix = self.adjacency()
-        if self_loops:
-            matrix = (matrix + sp.identity(self.n_nodes, format="csr")).tocsr()
-        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
-        safe = np.where(row_sums > 0, row_sums, 1.0)
-        inv = sp.diags(1.0 / safe)
-        return (inv @ matrix).tocsr()
+        key = (bool(self_loops), np.dtype(dtype or np.float64).str, False)
+        if key not in self._normalized:
+            matrix = self.adjacency()
+            if self_loops:
+                matrix = (matrix + sp.identity(self.n_nodes, format="csr")).tocsr()
+            row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+            safe = np.where(row_sums > 0, row_sums, 1.0)
+            inv = sp.diags(1.0 / safe)
+            normalized = (inv @ matrix).tocsr()
+            if dtype is not None:
+                normalized = normalized.astype(np.dtype(dtype))
+            self._normalized[key] = normalized
+        return self._normalized[key]
+
+    def normalized_adjacency_transpose(self, self_loops: bool = True, dtype=None) -> sp.csr_matrix:
+        """CSR transpose of :meth:`normalized_adjacency`, cached alongside it.
+
+        The backward pass of every propagation multiplies by ``Â.T``;
+        building that transpose once here (instead of per backward call)
+        is one of the constant-subgraph caches of the compute refactor.
+        """
+        key = (bool(self_loops), np.dtype(dtype or np.float64).str, True)
+        if key not in self._normalized:
+            self._normalized[key] = (
+                self.normalized_adjacency(self_loops=self_loops, dtype=dtype).T.tocsr()
+            )
+        return self._normalized[key]
 
     def degrees(self) -> np.ndarray:
         """Node degrees including the self-loop (|N_i| in Eq. 1-2)."""
-        matrix = self.adjacency() + sp.identity(self.n_nodes, format="csr")
-        return np.asarray(matrix.sum(axis=1)).ravel()
+        if self._degrees is None:
+            matrix = self.adjacency() + sp.identity(self.n_nodes, format="csr")
+            self._degrees = np.asarray(matrix.sum(axis=1)).ravel()
+        return self._degrees
 
     def to_networkx(self) -> nx.Graph:
         """Export to networkx with a ``node_type`` attribute, for inspection."""

@@ -5,11 +5,20 @@ This package replaces PyTorch for the reproduction: reverse-mode autograd
 optimizers with step decay, and the BPR/BCE losses used in the paper.
 """
 
+from .precision import default_dtype, precision, resolve_dtype, set_default_dtype
 from .tensor import Tensor, concat, stack_sum, unbroadcast
 from .module import Module, Parameter
 from .layers import Embedding, Linear, Dropout, MLP
 from .optim import SGD, Adam, StepDecay
-from .losses import bpr_loss, bpr_loss_paper_eq4, bce_loss, l2_regularization, l2_on_batch
+from .losses import (
+    bpr_loss,
+    bpr_loss_paper_eq4,
+    bce_loss,
+    fused_bpr_loss,
+    fused_l2_on_batch,
+    l2_regularization,
+    l2_on_batch,
+)
 from . import init
 
 __all__ = [
@@ -29,7 +38,13 @@ __all__ = [
     "bpr_loss",
     "bpr_loss_paper_eq4",
     "bce_loss",
+    "fused_bpr_loss",
+    "fused_l2_on_batch",
     "l2_regularization",
     "l2_on_batch",
     "init",
+    "precision",
+    "default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
 ]

@@ -28,6 +28,7 @@ class Embedding(Module):
         embedding_dim: int,
         rng: Optional[np.random.Generator] = None,
         std: float = 0.01,
+        dtype=None,
     ) -> None:
         super().__init__()
         if num_embeddings <= 0 or embedding_dim <= 0:
@@ -37,7 +38,10 @@ class Embedding(Module):
         rng = rng or np.random.default_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        self.weight = Parameter(init.normal(rng, (num_embeddings, embedding_dim), std=std), name="embedding")
+        self.weight = Parameter(
+            init.normal(rng, (num_embeddings, embedding_dim), std=std, dtype=dtype),
+            name="embedding",
+        )
 
     def __call__(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices)
@@ -62,13 +66,17 @@ class Linear(Module):
         out_features: int,
         rng: Optional[np.random.Generator] = None,
         bias: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.xavier_uniform(rng, (in_features, out_features)), name="linear.weight")
-        self.bias = Parameter(init.zeros((out_features,)), name="linear.bias") if bias else None
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (in_features, out_features), dtype=dtype),
+            name="linear.weight",
+        )
+        self.bias = Parameter(init.zeros((out_features,), dtype=dtype), name="linear.bias") if bias else None
 
     def __call__(self, inputs: Tensor) -> Tensor:
         out = inputs.matmul(self.weight)

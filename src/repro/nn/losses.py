@@ -9,14 +9,26 @@ difference.  The de-facto standard BPR is ``-ln sigma(s_i - s_j)``
 (softplus of the negative margin).  We implement the standard, numerically
 stable form as :func:`bpr_loss` (what the reference PUP code uses) and keep
 the literal Eq. 4 as :func:`bpr_loss_paper_eq4` for fidelity experiments.
+
+Fused kernels
+-------------
+:func:`fused_bpr_loss` and :func:`fused_l2_on_batch` compute the same values
+as :func:`bpr_loss` / :func:`l2_on_batch` but as *single* autograd nodes
+with hand-written backward closures, instead of chains of elementwise graph
+nodes.  Per training step that removes roughly a dozen intermediate arrays
+and their gradient buffers; the trainer uses the fused forms by default
+(``TrainConfig.fused_kernels``) and falls back to the composed forms for
+the pre-refactor comparison arm of ``benchmarks/bench_training.py``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from .module import Parameter
-from .tensor import Tensor
+from .tensor import Tensor, _stable_sigmoid
 
 
 def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
@@ -31,6 +43,39 @@ def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
         )
     margin = neg_scores - pos_scores
     return margin.softplus().mean()
+
+
+def fused_bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Numerically-stable fused BPR: ``mean softplus(neg - pos)`` as one node.
+
+    Forward computes ``log(1 + exp(neg - pos))`` directly on the arrays and
+    caches ``sigmoid(neg - pos)``; backward distributes
+    ``±sigmoid(margin) / n`` to the two score tensors in a single pass.
+    Matches :func:`bpr_loss` to within floating-point round-off.
+    """
+    if pos_scores.shape != neg_scores.shape:
+        raise ValueError(
+            f"positive/negative score shapes differ: {pos_scores.shape} vs {neg_scores.shape}"
+        )
+    margin = neg_scores.data - pos_scores.data
+    out_data = np.asarray(np.logaddexp(0.0, margin).mean(), dtype=margin.dtype)
+    sig = _stable_sigmoid(margin)
+    scale = 1.0 / max(margin.size, 1)
+    requires = pos_scores.requires_grad or neg_scores.requires_grad
+    track = requires or pos_scores._parents or neg_scores._parents
+
+    def _backward(grad: np.ndarray) -> None:
+        g = sig * (grad * scale)
+        if neg_scores.requires_grad or neg_scores._parents:
+            neg_scores._accumulate_any(g)
+        if pos_scores.requires_grad or pos_scores._parents:
+            pos_scores._accumulate_any(-g)
+
+    if not track:
+        return Tensor(out_data)
+    return Tensor(
+        out_data, requires_grad=requires, parents=(pos_scores, neg_scores), backward_fn=_backward
+    )
 
 
 def bpr_loss_paper_eq4(pos_scores: Tensor, neg_scores: Tensor, eps: float = 1e-8) -> Tensor:
@@ -81,3 +126,36 @@ def l2_on_batch(embeddings: Iterable[Tensor], weight: float, batch_size: int) ->
     for emb in embeddings[1:]:
         total = total + (emb * emb).sum()
     return total * (weight / batch_size)
+
+
+def fused_l2_on_batch(embeddings: Iterable[Tensor], weight: float, batch_size: int) -> Tensor:
+    """Fused form of :func:`l2_on_batch`: one node over all embedding slices.
+
+    Forward is a flat ``sum(e·e)`` accumulated in float64 (the reduction is
+    the numerically delicate part); backward adds ``2·(weight/batch)·e`` to
+    each slice with no intermediate squared arrays.
+    """
+    embeddings = list(embeddings)
+    if not embeddings:
+        raise ValueError("fused_l2_on_batch needs at least one tensor")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    scale = weight / batch_size
+    total = 0.0
+    for emb in embeddings:
+        flat = emb.data.reshape(-1)
+        total += float(np.dot(flat, flat))
+    out_data = np.asarray(total * scale, dtype=embeddings[0].data.dtype)
+    requires = any(e.requires_grad for e in embeddings)
+    track = requires or any(e._parents for e in embeddings)
+
+    def _backward(grad: np.ndarray) -> None:
+        for emb in embeddings:
+            if emb.requires_grad or emb._parents:
+                emb._accumulate_any((2.0 * scale * grad) * emb.data)
+
+    if not track:
+        return Tensor(out_data)
+    return Tensor(
+        out_data, requires_grad=requires, parents=tuple(embeddings), backward_fn=_backward
+    )

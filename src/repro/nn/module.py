@@ -99,17 +99,22 @@ class Module:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values saved by :meth:`state_dict`."""
+        """Load parameter values saved by :meth:`state_dict`.
+
+        Values are cast to each parameter's own dtype, so a float64
+        checkpoint loads into a float32 model (and vice versa) — the model's
+        precision policy, fixed at construction, wins.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
-            param.data = value.copy()
+            param.data = np.array(value, dtype=param.data.dtype)
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

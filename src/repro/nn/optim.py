@@ -56,7 +56,15 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction."""
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    The update runs fully in place: moment buffers and one scratch buffer
+    per parameter are preallocated once (in the parameter's own dtype, so a
+    float32 model keeps float32 optimizer state), and every step reuses them
+    instead of allocating ``m_hat``/``v_hat``/update temporaries per call —
+    the optimizer is pure memory traffic, so the allocation-free form is
+    measurably faster on large embedding tables.
+    """
 
     def __init__(
         self,
@@ -74,22 +82,32 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, scratch in zip(self.params, self._m, self._v, self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
+            # m <- beta1*m + (1-beta1)*grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
+            # v <- beta2*v + (1-beta2)*grad^2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            # param <- param - (lr/bias1) * m / (sqrt(v/bias2) + eps)
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            param.data -= scratch
 
 
 class StepDecay:

@@ -1,0 +1,102 @@
+"""The compute-precision policy threaded through the whole stack.
+
+Every array the substrate creates — embedding tables, layer weights,
+optimizer moments, activations, gradients, frozen serving factors — follows
+one *default dtype*.  Historically the stack was hardwired to ``float64``;
+that stays the default, but the whole train → export → serve path also runs
+in ``float32`` at roughly half the memory traffic, which is where most of
+the training-throughput win on CPU BLAS/sparse kernels comes from (see
+``docs/performance.md`` for measured numbers and metric-parity guarantees).
+
+Note the dtype *policy* default is unchanged, but default training numerics
+are not frozen across releases: the trainer's fused kernels
+(``TrainConfig.fused_kernels``, on by default) compute the same losses with
+a different operation order, so float64 trajectories match earlier releases
+only to round-off.  Set ``fused_kernels=False`` for the composed ops.
+
+Usage::
+
+    from repro.nn import precision, set_default_dtype
+
+    with precision("float32"):          # scoped: build + train + export
+        model = build_model("pup", dataset, seed=0)
+        train_model(model, dataset, config)
+
+    set_default_dtype("float32")        # or for the rest of the thread
+
+The policy is **per-thread** (``threading.local``), so concurrent
+experiment sweeps can run different precisions without racing each other;
+a freshly spawned worker thread starts at the float64 default and must set
+its own policy.
+
+Rules of the policy
+-------------------
+* New tensors created from Python scalars/lists adopt the default dtype.
+* NumPy arrays that are already ``float32``/``float64`` keep their dtype —
+  a checkpoint trained in one precision loads faithfully regardless of the
+  active default.
+* Ops derive their output dtype from their operands (scalar constants are
+  coerced to the tensor's own dtype), so a graph stays in one precision
+  end to end instead of silently promoting to ``float64``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: the dtypes the policy accepts — everything else is coerced to the default
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_state = threading.local()
+
+
+def resolve_dtype(dtype: Optional[DTypeLike]) -> np.dtype:
+    """Canonicalize ``dtype`` (``None`` means the active default)."""
+    if dtype is None:
+        return default_dtype()
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported precision {resolved.name!r}; use one of: {supported}")
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors/parameters are created with."""
+    return getattr(_state, "dtype", np.dtype(np.float64))
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the calling thread's default dtype; returns it.
+
+    Per-thread on purpose: parallel sweeps may train different precisions
+    concurrently.  New threads start at float64.
+    """
+    resolved = resolve_dtype(dtype)
+    _state.dtype = resolved
+    return resolved
+
+
+class precision:
+    """Context manager scoping the default dtype::
+
+        with precision("float32"):
+            model = PUP(dataset)        # float32 parameters
+    """
+
+    def __init__(self, dtype: DTypeLike) -> None:
+        self._dtype = resolve_dtype(dtype)
+        self._saved: Optional[np.dtype] = None
+
+    def __enter__(self) -> np.dtype:
+        self._saved = default_dtype()
+        _state.dtype = self._dtype
+        return self._dtype
+
+    def __exit__(self, *exc_info) -> None:
+        _state.dtype = self._saved

@@ -6,8 +6,12 @@ provide an equivalent (scalar-loss, reverse-mode) autograd ``Tensor``.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps an ``np.ndarray`` (always ``float64``), an optional
+* A :class:`Tensor` wraps an ``np.ndarray`` (``float32`` or ``float64``,
+  governed by the precision policy in :mod:`repro.nn.precision`), an optional
   gradient buffer, and a closure that propagates gradients to its parents.
+  Ops derive their output dtype from their operands and scalar constants are
+  coerced to the tensor's own dtype, so a graph built under one policy stays
+  in that precision end to end.
 * ``backward()`` runs a topological sort over the recorded graph and calls the
   per-node backward closures in reverse order, exactly like a micro-grad style
   engine but with full ndarray broadcasting support.
@@ -26,16 +30,31 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 import scipy.sparse as sp
 
+from .precision import SUPPORTED_DTYPES, default_dtype, resolve_dtype
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    """Coerce input to a float64 ndarray without copying when possible."""
-    if isinstance(value, np.ndarray):
-        if value.dtype == np.float64:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce input to a float ndarray without copying when possible.
+
+    With ``dtype=None``, arrays already in a supported precision keep it
+    (so float32 checkpoints stay float32); everything else is coerced to the
+    policy default.
+    """
+    if dtype is not None:
+        dtype = resolve_dtype(dtype)
+        if isinstance(value, np.ndarray) and value.dtype == dtype:
             return value
-        return value.astype(np.float64)
-    return np.asarray(value, dtype=np.float64)
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, np.ndarray):
+        if value.dtype in SUPPORTED_DTYPES:
+            return value
+        return value.astype(default_dtype())
+    if isinstance(value, np.generic) and value.dtype in SUPPORTED_DTYPES:
+        # 0-d results of reductions (e.g. float32 .sum()) keep their precision.
+        return np.asarray(value)
+    return np.asarray(value, dtype=default_dtype())
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -85,8 +104,9 @@ class Tensor:
         parents: Iterable["Tensor"] = (),
         backward_fn: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents = tuple(parents)
@@ -99,6 +119,10 @@ class Tensor:
     @property
     def shape(self) -> tuple:
         return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def ndim(self) -> int:
@@ -127,15 +151,17 @@ class Tensor:
         """Return a new tensor sharing data but cut off from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """A detached copy cast to ``dtype`` (no gradient flow)."""
+        return Tensor(self.data.astype(resolve_dtype(dtype)), requires_grad=False)
+
     # ------------------------------------------------------------------
     # Gradient bookkeeping
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+        self._accumulate_any(grad)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -155,7 +181,7 @@ class Tensor:
                 )
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            grad = _as_array(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"seed gradient shape {grad.shape} != tensor shape {self.shape}"
@@ -186,15 +212,15 @@ class Tensor:
     def _accumulate_or_seed(self, grad: np.ndarray) -> None:
         # The root of backward() always needs a grad buffer even when it is an
         # intermediate node (requires_grad may be False on pure outputs).
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+        self._accumulate_any(grad)
 
     # ------------------------------------------------------------------
     # Binary arithmetic
     # ------------------------------------------------------------------
     def _binary(self, other: ArrayLike, forward, backward_self, backward_other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        # Non-tensor operands adopt this tensor's dtype so scalar constants
+        # never promote a float32 graph to float64.
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         out_data = forward(self.data, other_t.data)
         requires = self.requires_grad or other_t.requires_grad
         track = requires or self._parents or other_t._parents
@@ -210,10 +236,16 @@ class Tensor:
         return Tensor(out_data, requires_grad=requires, parents=(self, other_t), backward_fn=_backward)
 
     def _accumulate_any(self, grad: np.ndarray) -> None:
-        """Accumulate gradient whether this is a leaf or an interior node."""
+        """Accumulate gradient whether this is a leaf or an interior node.
+
+        The first contribution is a single-pass copy (not zeros + add): the
+        incoming array may be shared between parents or be a broadcast view,
+        so it must not be adopted in place.
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            self.grad = np.array(grad, dtype=self.data.dtype)
+        else:
+            self.grad += grad
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         return self._binary(
@@ -278,7 +310,7 @@ class Tensor:
 
     def matmul(self, other: "Tensor") -> "Tensor":
         """Dense matrix multiply with gradients to both operands."""
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         out_data = self.data @ other_t.data
         requires = self.requires_grad or other_t.requires_grad
         track = requires or self._parents or other_t._parents
@@ -299,23 +331,37 @@ class Tensor:
             return Tensor(out_data)
         return Tensor(out_data, requires_grad=requires, parents=(self, other_t), backward_fn=_backward)
 
-    def sparse_matmul(self, matrix: sp.spmatrix) -> "Tensor":
+    def sparse_matmul(self, matrix: sp.spmatrix, transpose: Optional[sp.spmatrix] = None) -> "Tensor":
         """Compute ``matrix @ self`` for a constant sparse ``matrix``.
 
         The sparse operand (a graph adjacency) receives no gradient; the
-        gradient w.r.t. the dense operand is ``matrix.T @ grad``.
+        gradient w.r.t. the dense operand is ``matrix.T @ grad``.  Callers on
+        a hot path (GCN encoders) pass the precomputed ``transpose`` so it is
+        not rebuilt on every forward; otherwise it is derived lazily when the
+        backward pass first needs it.
         """
         if not sp.issparse(matrix):
             raise TypeError(f"expected a scipy sparse matrix, got {type(matrix)!r}")
         csr = matrix.tocsr()
+        if csr.dtype != self.data.dtype:
+            csr = csr.astype(self.data.dtype)
         out_data = csr @ self.data
-        transpose = csr.T.tocsr()
-
-        def _backward(grad: np.ndarray) -> None:
-            self._accumulate_any(transpose @ grad)
 
         if not (self.requires_grad or self._parents):
             return Tensor(out_data)
+
+        if transpose is not None and not sp.issparse(transpose):
+            raise TypeError(f"expected a sparse transpose, got {type(transpose)!r}")
+        cached = [transpose]
+
+        def _backward(grad: np.ndarray) -> None:
+            if cached[0] is None:
+                cached[0] = csr.T.tocsr()
+            t = cached[0]
+            if t.dtype != grad.dtype:
+                t = t.astype(grad.dtype)
+            self._accumulate_any(t @ grad)
+
         return Tensor(out_data, requires_grad=self.requires_grad, parents=(self,), backward_fn=_backward)
 
     # ------------------------------------------------------------------
@@ -375,13 +421,14 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def _backward(grad: np.ndarray) -> None:
+            # _accumulate_any copies on first touch, so broadcast views are safe.
             if axis is None:
-                self._accumulate_any(np.broadcast_to(grad, self.shape).copy() if np.ndim(grad) else np.full(self.shape, grad))
+                self._accumulate_any(np.broadcast_to(grad, self.shape))
             else:
                 g = grad
                 if not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                self._accumulate_any(np.broadcast_to(g, self.shape).copy())
+                self._accumulate_any(np.broadcast_to(g, self.shape))
 
         if not (self.requires_grad or self._parents):
             return Tensor(out_data)
@@ -433,9 +480,12 @@ class Tensor:
         out_data = self.data[idx]
 
         def _backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, idx, grad)
-            self._accumulate_any(full)
+            # Scatter straight into the grad buffer: allocating a full-table
+            # temporary and adding it afterwards would double the memory
+            # traffic of the most frequent backward op in the stack.
+            if self.grad is None:
+                self.grad = np.zeros_like(self.data)
+            np.add.at(self.grad, idx, grad)
 
         if not (self.requires_grad or self._parents):
             return Tensor(out_data)
@@ -446,9 +496,9 @@ class Tensor:
         out_data = self.data[:, start:stop]
 
         def _backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            full[:, start:stop] = grad
-            self._accumulate_any(full)
+            if self.grad is None:
+                self.grad = np.zeros_like(self.data)
+            self.grad[:, start:stop] += grad
 
         if not (self.requires_grad or self._parents):
             return Tensor(out_data)
@@ -461,12 +511,19 @@ class Tensor:
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         keep = 1.0 - rate
-        mask = (rng.random(self.shape) < keep) / keep
-        return self * Tensor(mask)
+        # Draw uniforms natively in the tensor's dtype (float32 draws are
+        # half the memory traffic); the keep-mask math runs in place.
+        if self.data.dtype == np.float32:
+            rand = rng.random(self.shape, dtype=np.float32)
+        else:
+            rand = rng.random(self.shape)
+        mask = (rand < keep).astype(self.data.dtype)
+        mask /= keep
+        return self * Tensor(mask, dtype=self.data.dtype)
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float64)
+    out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])

@@ -1,0 +1,115 @@
+"""Lightweight training/serving profiler: scoped timers + counters.
+
+A :class:`Profiler` accumulates wall-time per named phase (``sampling``,
+``forward``, ``backward``, ``step`` in the trainer) plus arbitrary counters
+(triples processed, batches, epochs), and renders a JSON-safe summary with
+derived throughput.  It is cheap enough to leave on unconditionally —
+overhead is two ``perf_counter`` calls per phase — and a disabled instance
+degrades to no-ops so hot loops never need ``if profiler:`` guards.
+
+Used by :class:`repro.train.trainer.Trainer` (surfaced on
+:class:`~repro.train.trainer.TrainResult.profile` and the CLI) and by
+``benchmarks/bench_training.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Profiler:
+    """Accumulates per-phase wall time and named counters."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scoped timer: ``with profiler.phase("forward"): ...``"""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add_seconds(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record externally-measured time under a phase."""
+        if not self.enabled:
+            return
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        """Total wall time accumulated under ``name`` (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def total_seconds(self) -> float:
+        """Sum over all phases."""
+        return sum(self._seconds.values())
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter (e.g. ``triples``, ``batches``)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def rate(self, counter: str, per: Optional[str] = None) -> float:
+        """``counter / seconds`` — against one phase, or total time if ``per`` is None."""
+        seconds = self.seconds(per) if per is not None else self.total_seconds()
+        return self.counter(counter) / seconds if seconds > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict:
+        """JSON-safe snapshot: per-phase seconds/calls/share, counters, rates."""
+        total = self.total_seconds()
+        phases = {
+            name: {
+                "seconds": self._seconds[name],
+                "calls": self._calls.get(name, 0),
+                "share": (self._seconds[name] / total) if total > 0 else 0.0,
+            }
+            for name in sorted(self._seconds)
+        }
+        summary: Dict = {
+            "total_seconds": total,
+            "phases": phases,
+            "counters": dict(self._counters),
+        }
+        if "triples" in self._counters and total > 0:
+            summary["triples_per_sec"] = self._counters["triples"] / total
+        return summary
+
+    def format_phases(self) -> str:
+        """Compact one-line phase breakdown, e.g. ``sample 12% fwd 41% ...``."""
+        total = self.total_seconds()
+        if total <= 0:
+            return ""
+        return " ".join(
+            f"{name} {self._seconds[name] / total:.0%}" for name in sorted(self._seconds)
+        )
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()
+        self._counters.clear()

@@ -51,7 +51,9 @@ def export_index(
     was_training = model.training
     model.eval()
     try:
-        branches = model.export_embeddings()
+        # frozen_copy: exported branches may alias live weights (models like
+        # BPR-MF hand out their embedding tables); the frozen index must not.
+        branches = [branch.frozen_copy() for branch in model.export_embeddings()]
     except NotImplementedError as error:
         raise ExportError(str(error)) from error
     finally:

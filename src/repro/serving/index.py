@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.base import ScoreBranch
+from ..core.base import ScoreBranch, score_branches
 from ..train import persistence
 
 INDEX_KIND = "embedding_index"
@@ -97,23 +97,12 @@ class EmbeddingIndex:
 
         The blocked retrieval engine calls this per block so the item-side
         operands stay cache-resident; ``score`` is the single-block special
-        case.  The per-branch arithmetic mirrors the models' own
-        ``predict_scores`` (matmul, then item-constant row, then
-        user-constant column, then branch weight) so full-range scores are
-        bit-identical to the live model.
+        case.  Scoring is :func:`~repro.core.base.score_branches` — the
+        *same function* the live models' ``predict_scores`` runs — so
+        full-range scores are bit-identical to the live model by
+        construction.
         """
-        users = np.asarray(users, dtype=np.int64)
-        total: Optional[np.ndarray] = None
-        for branch in self.branches:
-            part = branch.user[users] @ branch.item[start:stop].T
-            if branch.item_const is not None:
-                part = part + branch.item_const[None, start:stop]
-            if branch.user_const is not None:
-                part = part + branch.user_const[users][:, None]
-            if branch.weight != 1.0:
-                part = branch.weight * part
-            total = part if total is None else total + part
-        return total
+        return score_branches(self.branches, users, start, stop)
 
     def excluded_items(self, user: int) -> np.ndarray:
         """The user's train-positive item ids (sorted ascending)."""

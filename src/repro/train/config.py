@@ -29,6 +29,7 @@ class TrainConfig:
     eval_k: int = 50
     early_stop_patience: int = 0  # 0 disables early stopping
     loss: str = "bpr"  # "bpr" (standard, stable) or "bpr_eq4" (literal Eq. 4)
+    fused_kernels: bool = True  # single-node BPR/L2 kernels (False: composed ops)
     verbose: bool = False
 
     def __post_init__(self) -> None:
@@ -50,6 +51,7 @@ class TrainConfig:
             raise ValueError("early stopping requires eval_every > 0")
         if self.loss not in ("bpr", "bpr_eq4"):
             raise ValueError(f"loss must be 'bpr' or 'bpr_eq4', got {self.loss!r}")
+        self.fused_kernels = bool(self.fused_kernels)
 
     # ------------------------------------------------------------------
     # Serialization (used by repro.experiments specs and artifact dirs)

@@ -74,7 +74,13 @@ def archive_kind(metadata: Dict) -> str:
 # Model checkpoints
 # ----------------------------------------------------------------------
 def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) -> str:
-    """Serialize ``model``'s parameters to ``path`` (.npz appended if absent)."""
+    """Serialize ``model``'s parameters to ``path`` (.npz appended if absent).
+
+    Arrays are stored in their native dtype — a float32 model writes a
+    float32 (half-size) checkpoint — and the header records the precision;
+    ``load_checkpoint`` casts to whatever precision the target model was
+    built with.
+    """
     state = model.state_dict()
     metadata = {
         KIND_KEY: CHECKPOINT_KIND,
@@ -83,6 +89,7 @@ def save_checkpoint(model: Recommender, path: str, extra: Dict | None = None) ->
         "n_users": model.n_users,
         "n_items": model.n_items,
         "parameter_names": sorted(state),
+        "precision": sorted({str(value.dtype) for value in state.values()}),
         "extra": extra or {},
     }
     return write_archive(path, state, metadata)

@@ -1,0 +1,122 @@
+"""The vectorized (packed-key/searchsorted) negative-sampler membership test."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.data.sampling import NegativeSampler
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(
+        n_users=60, n_items=80, n_categories=5, n_price_levels=4,
+        interactions_per_user=15, seed=11,
+    )
+    return generate(config)[0]
+
+
+class TestVectorizedMembership:
+    def test_matches_python_set_semantics(self, dataset):
+        """Property: _is_positive agrees with the naive set lookup on every
+        (user, item) pair of a random probe batch."""
+        sampler = NegativeSampler(dataset, np.random.default_rng(0))
+        positives = dataset.train_positive_sets()
+        rng = np.random.default_rng(1)
+        users = rng.integers(0, dataset.n_users, size=500)
+        items = rng.integers(0, dataset.n_items, size=500)
+        expected = np.array(
+            [int(item) in positives.get(int(user), set()) for user, item in zip(users, items)]
+        )
+        np.testing.assert_array_equal(sampler._is_positive(users, items), expected)
+
+    def test_membership_covers_boundary_keys(self, dataset):
+        """First/last packed keys (searchsorted edge cases) classify correctly."""
+        sampler = NegativeSampler(dataset, np.random.default_rng(0))
+        n_items = dataset.n_items
+        first, last = sampler._pos_keys[0], sampler._pos_keys[-1]
+        users = np.array([first // n_items, last // n_items])
+        items = np.array([first % n_items, last % n_items])
+        assert sampler._is_positive(users, items).all()
+
+    def test_membership_past_last_key_is_negative(self, dataset):
+        """A candidate key beyond every stored key must classify as negative
+        (searchsorted returns len(keys); the clipped lookup must not match)."""
+        sampler = NegativeSampler(dataset, np.random.default_rng(0))
+        n_items = dataset.n_items
+        last = int(sampler._pos_keys[-1])
+        user, item = last // n_items, last % n_items
+        probe_item = item + 1 if item + 1 < n_items else item - 1
+        if user * n_items + probe_item > last:
+            assert not sampler._is_positive(np.array([user]), np.array([probe_item])).any()
+        probe_user = dataset.n_users - 1
+        probe = np.array([probe_user * n_items + n_items - 1])
+        if probe[0] > last:
+            assert not sampler._is_positive(
+                np.array([probe_user]), np.array([n_items - 1])
+            ).any()
+
+    def test_negatives_never_positive_large_batch(self, dataset):
+        sampler = NegativeSampler(dataset, np.random.default_rng(5))
+        positives = dataset.train_positive_sets()
+        users = np.repeat(np.arange(dataset.n_users), 20)
+        negatives = sampler.sample_negatives(users)
+        for user, item in zip(users, negatives):
+            assert int(item) not in positives.get(int(user), set())
+
+    def test_seed_determinism_preserved(self, dataset):
+        draws = []
+        for _ in range(2):
+            sampler = NegativeSampler(dataset, np.random.default_rng(42))
+            batches = list(sampler.epoch_batches(64))
+            draws.append(np.concatenate([neg for _, _, neg in batches]))
+        np.testing.assert_array_equal(draws[0], draws[1])
+
+    def test_empty_train_split_samples_without_error(self):
+        """Regression: an empty positive-key array must classify everything
+        as negative, not index out of bounds."""
+        from repro.data.dataset import Dataset, InteractionTable, ItemCatalog
+
+        empty = InteractionTable(
+            np.array([], dtype=int), np.array([], dtype=int), np.array([], dtype=float)
+        )
+        catalog = ItemCatalog(
+            raw_prices=np.ones(3),
+            categories=np.zeros(3, dtype=int),
+            price_levels=np.zeros(3, dtype=int),
+            n_categories=1,
+            n_price_levels=1,
+        )
+        dataset = Dataset(
+            name="empty", n_users=2, n_items=3, catalog=catalog,
+            train=empty, validation=empty, test=empty,
+        )
+        sampler = NegativeSampler(dataset, np.random.default_rng(0))
+        negatives = sampler.sample_negatives(np.array([0, 1, 0]))
+        assert negatives.shape == (3,)
+        assert ((0 <= negatives) & (negatives < 3)).all()
+
+    def test_duplicate_interactions_deduplicated(self):
+        """Packed keys collapse repeat purchases; sampling still works."""
+        from repro.data.dataset import Dataset, InteractionTable, ItemCatalog
+
+        users = np.array([0, 0, 0, 1, 1, 1])
+        items = np.array([0, 0, 1, 2, 2, 0])
+        table = InteractionTable(users, items, np.arange(6, dtype=float))
+        catalog = ItemCatalog(
+            raw_prices=np.ones(4),
+            categories=np.zeros(4, dtype=int),
+            price_levels=np.zeros(4, dtype=int),
+            n_categories=1,
+            n_price_levels=1,
+        )
+        dataset = Dataset(
+            name="dup", n_users=2, n_items=4, catalog=catalog,
+            train=table, validation=table.select(np.array([], dtype=int)),
+            test=table.select(np.array([], dtype=int)),
+        )
+        sampler = NegativeSampler(dataset, np.random.default_rng(0))
+        assert len(sampler._pos_keys) == 4  # (0,0) (0,1) (1,0) (1,2)
+        negatives = sampler.sample_negatives(np.array([0, 0, 1, 1]))
+        assert set(negatives[:2]).issubset({2, 3})
+        assert set(negatives[2:]).issubset({1, 3})

@@ -1,0 +1,60 @@
+"""Precision is part of the experiment spec and survives artifact rehydration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import Experiment, ExperimentSpec
+from repro.experiments.runner import run
+
+
+class TestSpecPrecision:
+    def test_default_and_roundtrip(self):
+        spec = ExperimentSpec.create("pup", "yelp", scale=0.25, epochs=2)
+        assert spec.precision == "float64"
+        spec32 = ExperimentSpec.create("pup", "yelp", scale=0.25, epochs=2, precision="float32")
+        restored = ExperimentSpec.from_dict(json.loads(spec32.to_json()))
+        assert restored.precision == "float32"
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            ExperimentSpec.create("pup", "yelp", precision="float16")
+
+    def test_pre_policy_specs_default_to_float64(self):
+        spec = ExperimentSpec.create("pup", "yelp", scale=0.25, epochs=2)
+        payload = spec.to_dict()
+        del payload["precision"]  # a spec.json written before the field existed
+        assert ExperimentSpec.from_dict(payload).precision == "float64"
+
+
+class TestArtifactPrecision:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        spec = ExperimentSpec.create(
+            "pup", "yelp", scale=0.25, epochs=2, ks=(10,), precision="float32"
+        )
+        out = str(tmp_path_factory.mktemp("runs") / "pup_f32")
+        experiment = run(spec, artifacts_dir=out)
+        return out, experiment
+
+    def test_run_builds_float32_model(self, artifacts):
+        _, experiment = artifacts
+        assert all(p.dtype == np.float32 for p in experiment.model.parameters())
+        assert experiment.index.branches[0].user.dtype == np.float32
+
+    def test_load_rebuilds_in_recorded_precision(self, artifacts):
+        """Regression: without the recorded precision the model came back
+        float64 while the saved index stayed float32, so live scores drifted
+        from the index by round-off — enough to flip near-tied top-K."""
+        out, experiment = artifacts
+        reloaded = Experiment.load(out)
+        assert reloaded.spec.precision == "float32"
+        assert all(p.dtype == np.float32 for p in reloaded.model.parameters())
+        users = np.arange(reloaded.dataset.n_users)
+        np.testing.assert_array_equal(
+            reloaded.model.predict_scores(users), reloaded.index.score(users)
+        )
+        np.testing.assert_array_equal(
+            reloaded.index.score(users), experiment.index.score(users)
+        )

@@ -1,0 +1,145 @@
+"""Profiler unit tests + its wiring into Trainer (profile, progress line,
+best-checkpoint no-aliasing guarantee)."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF
+from repro.data import SyntheticConfig, generate
+from repro.profiling import Profiler
+from repro.train import TrainConfig, Trainer
+from repro.train.trainer import TRAIN_PHASES, TrainResult
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(
+        n_users=40, n_items=50, n_categories=4, n_price_levels=3,
+        interactions_per_user=10, seed=31,
+    )
+    return generate(config)[0]
+
+
+class TestProfiler:
+    def test_phase_accumulates_time_and_calls(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.phase("work"):
+                time.sleep(0.001)
+        assert profiler.seconds("work") >= 0.003
+        assert profiler.summary()["phases"]["work"]["calls"] == 3
+
+    def test_counters_and_rate(self):
+        profiler = Profiler()
+        profiler.add_seconds("step", 2.0)
+        profiler.count("triples", 100)
+        profiler.count("triples", 100)
+        assert profiler.counter("triples") == 200
+        assert profiler.rate("triples", per="step") == pytest.approx(100.0)
+        assert profiler.rate("triples") == pytest.approx(100.0)
+
+    def test_summary_is_json_safe_with_shares(self):
+        profiler = Profiler()
+        profiler.add_seconds("a", 1.0)
+        profiler.add_seconds("b", 3.0)
+        profiler.count("triples", 8)
+        summary = json.loads(json.dumps(profiler.summary()))
+        assert summary["phases"]["b"]["share"] == pytest.approx(0.75)
+        assert summary["triples_per_sec"] == pytest.approx(2.0)
+
+    def test_disabled_profiler_is_noop(self):
+        profiler = Profiler(enabled=False)
+        with profiler.phase("work"):
+            pass
+        profiler.count("triples", 5)
+        assert profiler.total_seconds() == 0.0
+        assert profiler.counter("triples") == 0.0
+
+    def test_untimed_phase_reads_zero(self):
+        assert Profiler().seconds("never") == 0.0
+
+    def test_format_phases(self):
+        profiler = Profiler()
+        profiler.add_seconds("fwd", 1.0)
+        profiler.add_seconds("bwd", 1.0)
+        assert "fwd 50%" in profiler.format_phases()
+
+    def test_reset(self):
+        profiler = Profiler()
+        profiler.add_seconds("a", 1.0)
+        profiler.count("n", 2)
+        profiler.reset()
+        assert profiler.total_seconds() == 0.0 and profiler.counter("n") == 0.0
+
+
+class TestTrainerProfiling:
+    def test_fit_populates_profile(self, dataset):
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        result = Trainer(model, dataset, TrainConfig(epochs=3, seed=0)).fit()
+        profile = result.profile
+        assert profile is not None
+        for phase in TRAIN_PHASES:
+            assert phase in profile["phases"], phase
+        assert profile["counters"]["epochs"] == 3
+        assert profile["counters"]["triples"] == 3 * len(dataset.train)
+        assert result.triples_per_sec > 0
+        assert profile["train_seconds"] <= profile["total_seconds"] + 1e-9
+
+    def test_profile_serializes_and_roundtrips(self, dataset):
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        result = Trainer(model, dataset, TrainConfig(epochs=2, seed=0)).fit()
+        restored = TrainResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.profile == result.profile
+        assert restored.triples_per_sec == pytest.approx(result.triples_per_sec)
+
+    def test_non_trainable_has_no_profile(self, dataset):
+        from repro.baselines import ItemPop
+
+        result = Trainer(ItemPop(dataset), dataset, TrainConfig(epochs=2)).fit()
+        assert result.profile is None
+        assert result.triples_per_sec is None
+
+    def test_verbose_line_includes_throughput(self, dataset, capsys):
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        Trainer(model, dataset, TrainConfig(epochs=1, verbose=True, seed=0)).fit()
+        out = capsys.readouterr().out
+        assert "triples/s" in out
+        assert "loss=" in out and "lr=" in out
+
+    def test_validation_timed_outside_train_phases(self, dataset):
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=2, eval_every=1, eval_k=10)
+        result = Trainer(model, dataset, config).fit()
+        assert "validate" in result.profile["phases"]
+        train_seconds = sum(
+            result.profile["phases"][p]["seconds"] for p in TRAIN_PHASES
+        )
+        assert result.profile["train_seconds"] == pytest.approx(train_seconds)
+
+
+class TestBestCheckpointAliasing:
+    def test_snapshot_is_deep_copied(self, dataset):
+        """Regression: the early-stopping checkpoint must not alias live
+        parameters, or later epochs would silently corrupt the restored
+        best state."""
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        trainer = Trainer(model, dataset, TrainConfig(epochs=1, seed=0))
+        snapshot = trainer._snapshot_state()
+        reference = {name: value.copy() for name, value in snapshot.items()}
+        for param in model.parameters():
+            param.data += 123.0  # in-place mutation, as the optimizer does
+        for name, value in snapshot.items():
+            np.testing.assert_array_equal(value, reference[name])
+
+    def test_restored_best_state_survives_later_epochs(self, dataset):
+        model = BPRMF(dataset, dim=8, rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=4, eval_every=1, eval_k=10)
+        trainer = Trainer(model, dataset, config)
+        result = trainer.fit()
+        from repro.eval import evaluate
+
+        metrics = evaluate(model, dataset, split="validation", ks=(10,))
+        assert metrics["Recall@10"] == pytest.approx(result.best_metric)
