@@ -1,0 +1,312 @@
+"""Evaluation-throughput benchmark: the parallel batch-inference runtime.
+
+Measures end-to-end full-ranking evaluation (top-100 rankings over the
+whole catalog + Recall/NDCG@{50,100}) for every test user of the synthetic
+Yelp dataset under four execution arms:
+
+* ``serial_baseline`` — a verbatim reimplementation of the evaluation loop
+  as it stood before the runtime existed (frozen-branch scoring upcast to a
+  float64 copy, per-user ``masked_topk`` with a Python ``sorted()`` per
+  exclusion set, per-user scalar Recall/NDCG), measured in-run so every
+  speedup is against this machine, not a stale number;
+* ``serial``   — the batch runtime, one process (vectorized row kernels,
+  scoring in the index dtype, preallocated buffers);
+* ``threads4`` — the runtime over a 4-thread pool;
+* ``procs4``   — the runtime over a 4-process pool (fork, copy-on-write
+  transport, int32 wire format).
+
+Each arm reuses one :class:`~repro.runtime.BatchRuntime` across repeats
+(the steady-state shape of a validation loop or recurring bulk job; pool
+startup is reported separately) and quotes the fastest of ``--reps``
+passes, ``timeit``-style — the minimum is the least noise-contaminated
+estimate on a shared box.
+
+Every arm must produce bit-identical rankings and bit-identical metrics;
+the benchmark asserts this and refuses to write numbers for divergent
+results — speed that changes results is a bug, not a win.
+
+Usage::
+
+    python benchmarks/bench_eval.py            # full protocol, rewrites
+                                               # BENCH_eval.json
+    python benchmarks/bench_eval.py --smoke    # quick CI check against the
+                                               # committed baseline
+                                               # (>30% regression fails)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.core.base import score_branches
+from repro.data import load_dataset
+from repro.eval.metrics import mean_metric, ndcg_at_k, recall_at_k
+from repro.eval.ranking import evaluate, topk_rankings
+from repro.eval.topk import masked_topk
+from repro.experiments import PAPER_HPARAMS, build_model
+from repro.nn import precision
+from repro.runtime import BatchRuntime, RuntimeConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_eval.json")
+
+KS = (50, 100)
+
+ARMS = (
+    ("serial", RuntimeConfig()),
+    ("threads4", RuntimeConfig(workers=4, mode="thread")),
+    ("procs4", RuntimeConfig(workers=4, mode="process")),
+)
+
+#: CI gate: fail when throughput drops below (1 - this) of the committed value
+REGRESSION_TOLERANCE = 0.30
+
+
+# ----------------------------------------------------------------------
+# The pre-runtime evaluation path, verbatim (commit 2d61e65's eval loop):
+# frozen once per pass, float64 upcast per chunk, per-user Python loops.
+# ----------------------------------------------------------------------
+def _baseline_chunk_scorer(model):
+    export = getattr(model, "export_embeddings", None)
+    if export is not None:
+        try:
+            branches = export()
+        except NotImplementedError:
+            pass
+        else:
+            return lambda users: score_branches(branches, users)
+    return model.predict_scores
+
+
+def baseline_evaluate(model, dataset, ks=KS, user_chunk: int = 256) -> tuple:
+    """The pre-PR ``evaluate()``: returns (rankings, metrics)."""
+    ks = sorted(set(int(k) for k in ks))
+    positives = dataset.split_positive_sets("test")
+    users = np.asarray(sorted(positives), dtype=np.int64)
+    train_pos = dataset.train_positive_sets()
+    scorer = _baseline_chunk_scorer(model)
+    k = max(ks)
+    rankings = {}
+    for start in range(0, len(users), user_chunk):
+        chunk = users[start : start + user_chunk]
+        scores = np.array(scorer(chunk), dtype=np.float64)
+        for row, user in enumerate(chunk):
+            user = int(user)
+            exclude = sorted(train_pos.get(user, ()))
+            rankings[user] = masked_topk(scores[row], k, exclude_items=exclude or None)
+    results = {}
+    ordered = sorted(positives)
+    for cutoff in ks:
+        recalls = [recall_at_k(rankings[u], positives[u], cutoff) for u in ordered]
+        ndcgs = [ndcg_at_k(rankings[u], positives[u], cutoff) for u in ordered]
+        results[f"Recall@{cutoff}"] = mean_metric(recalls)
+        results[f"NDCG@{cutoff}"] = mean_metric(ndcgs)
+    return rankings, results
+
+
+# ----------------------------------------------------------------------
+def _best_of(fn, reps: int):
+    """(best seconds, last result) over ``reps`` timed passes + 1 warmup."""
+    fn()
+    best = np.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(scale: float, reps: int, arm_names=None) -> Dict:
+    dataset, _ = load_dataset("yelp", seed=0, scale=scale)
+    # Untrained weights: evaluation cost does not depend on weight values,
+    # and the parity asserts below hold for any fixed weights.
+    with precision("float32"):
+        model = build_model("pup", dataset, seed=0, **PAPER_HPARAMS["pup"])
+    model.eval()
+    n_users = len(dataset.split_positive_sets("test"))
+
+    arms: Dict[str, Dict] = {}
+    seconds_baseline, (rankings_ref, metrics_ref) = _best_of(
+        lambda: baseline_evaluate(model, dataset), reps
+    )
+    arms["serial_baseline"] = {
+        "users_per_sec": n_users / seconds_baseline,
+        "ms_per_pass": seconds_baseline * 1e3,
+        "recipe": "pre-runtime eval loop: float64 upcast copy, per-user "
+        "masked_topk + sorted(), per-user scalar Recall/NDCG",
+    }
+    print(
+        f"  {'serial_baseline':<16} {arms['serial_baseline']['users_per_sec']:>9,.0f} users/s"
+        f"  ({seconds_baseline*1e3:6.1f} ms/pass)"
+    )
+
+    branches = model.export_embeddings()
+    exclude_csr = dataset.train_exclusion_csr()
+    for name, config in ARMS:
+        if arm_names is not None and name not in arm_names:
+            continue
+        created = time.perf_counter()
+        runtime = BatchRuntime(branches, config, exclude_csr=exclude_csr)
+        startup_ms = (time.perf_counter() - created) * 1e3
+        try:
+            if runtime.mode != ("serial" if config.workers == 0 else config.mode):
+                print(f"  {name:<16} unavailable (fell back to {runtime.mode}); skipping")
+                continue
+            seconds, metrics = _best_of(
+                lambda: evaluate(model, dataset, ks=KS, runtime=runtime), reps
+            )
+            rankings = topk_rankings(
+                model, dataset, sorted(rankings_ref), k=max(KS), runtime=runtime
+            )
+        finally:
+            runtime.close()
+
+        if metrics != metrics_ref:
+            print(f"FAIL: arm {name} metrics diverge from baseline", file=sys.stderr)
+            raise SystemExit(1)
+        for user in rankings_ref:
+            if not np.array_equal(rankings[user], rankings_ref[user]):
+                print(f"FAIL: arm {name} rankings diverge for user {user}", file=sys.stderr)
+                raise SystemExit(1)
+
+        arms[name] = {
+            "users_per_sec": n_users / seconds,
+            "ms_per_pass": seconds * 1e3,
+            "pool_startup_ms": startup_ms,
+            "speedup_vs_serial_baseline": (n_users / seconds) / arms["serial_baseline"]["users_per_sec"],
+        }
+        print(
+            f"  {name:<16} {arms[name]['users_per_sec']:>9,.0f} users/s"
+            f"  ({seconds*1e3:6.1f} ms/pass, {arms[name]['speedup_vs_serial_baseline']:.2f}x)"
+        )
+
+    return {
+        "dataset": {
+            "name": "yelp", "scale": scale, "seed": 0,
+            "n_users": dataset.n_users, "n_items": dataset.n_items,
+            "evaluated_users": n_users,
+        },
+        "protocol": {
+            "precision": "float32", "model": "pup", "ks": list(KS),
+            "warmup_passes": 1, "timed_passes": reps, "timing": "best of timed passes",
+            "runtime_reuse": "one BatchRuntime per arm, reused across passes",
+            "parity": "rankings and metrics bit-identical across all arms (asserted in-run)",
+        },
+        "arms": arms,
+    }
+
+
+def cmd_full(reps: int) -> int:
+    print(f"full protocol (yelp scale 2.0, best of {reps} passes):")
+    report = run_benchmark(scale=2.0, reps=reps)
+    print(f"smoke protocol (yelp scale 1.0, best of {reps} passes):")
+    smoke = run_benchmark(scale=1.0, reps=reps)
+
+    required = {"procs4", "serial"}
+    for result in (report, smoke):
+        missing = required - set(result["arms"])
+        if missing:  # pragma: no cover - restricted sandbox
+            print(
+                f"cannot write {BENCH_PATH}: arms {sorted(missing)} unavailable "
+                "on this platform (pool fallback)",
+                file=sys.stderr,
+            )
+            return 2
+
+    speedup = report["arms"]["procs4"]["speedup_vs_serial_baseline"]
+    payload = {
+        "benchmark": "evaluation_throughput",
+        **report,
+        "speedup_procs4_vs_serial_baseline": round(speedup, 3),
+        "speedup_serial_vs_serial_baseline": round(
+            report["arms"]["serial"]["speedup_vs_serial_baseline"], 3
+        ),
+        "smoke_reference": {
+            "dataset": smoke["dataset"],
+            "protocol": smoke["protocol"],
+            "serial_baseline_users_per_sec": smoke["arms"]["serial_baseline"]["users_per_sec"],
+            "procs4_users_per_sec": smoke["arms"]["procs4"]["users_per_sec"],
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nprocs4 is {speedup:.2f}x the in-run serial baseline "
+        f"({report['arms']['serial_baseline']['users_per_sec']:,.0f} users/s); "
+        f"serial alone is {report['arms']['serial']['speedup_vs_serial_baseline']:.2f}x"
+    )
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+def cmd_smoke(reps: int) -> int:
+    """CI check: re-measure the smoke protocol, compare to the committed file.
+
+    Absolute users/sec is machine-dependent, so the gate normalizes by
+    machine speed: the in-run ``serial_baseline`` arm re-measures the same
+    hardware, and the check is that ``procs4`` did not lose more than the
+    tolerance relative to its *expected* throughput on this machine
+    (``committed_procs4 * measured_baseline / committed_baseline``).
+    Parity (rankings/metrics identical across arms) is always re-asserted.
+    """
+    if not os.path.exists(BENCH_PATH):
+        print(f"missing committed baseline {BENCH_PATH}; run without --smoke first", file=sys.stderr)
+        return 2
+    with open(BENCH_PATH) as handle:
+        committed = json.load(handle)
+    reference = committed["smoke_reference"]
+    scale = reference["dataset"]["scale"]
+
+    print(f"smoke protocol (yelp scale {scale}, best of {reps} passes):")
+    report = run_benchmark(scale=scale, reps=reps, arm_names=("procs4",))
+    if "procs4" not in report["arms"]:  # pragma: no cover - restricted sandbox
+        print("process pools unavailable; skipping throughput gate")
+        return 0
+    measured = report["arms"]["procs4"]["users_per_sec"]
+    machine_factor = (
+        report["arms"]["serial_baseline"]["users_per_sec"]
+        / reference["serial_baseline_users_per_sec"]
+    )
+    expected = reference["procs4_users_per_sec"] * machine_factor
+    floor = (1.0 - REGRESSION_TOLERANCE) * expected
+
+    print(
+        f"\nprocs4: {measured:,.0f} users/s; expected on this machine "
+        f"{expected:,.0f} (committed {reference['procs4_users_per_sec']:,.0f} "
+        f"x machine factor {machine_factor:.2f}); floor {floor:,.0f}"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: users/sec regressed more than {REGRESSION_TOLERANCE:.0%} "
+            "against the committed BENCH_eval.json baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick regression check against the committed BENCH_eval.json",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="timed passes per arm")
+    args = parser.parse_args()
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
+    return cmd_smoke(reps) if args.smoke else cmd_full(reps)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

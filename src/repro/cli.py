@@ -4,8 +4,12 @@ Subcommands:
 
 * ``list``      — registered models and datasets
 * ``train``     — run one experiment spec end to end, write an artifact dir
-* ``evaluate``  — re-evaluate a saved artifact dir
+* ``evaluate``  — re-evaluate a saved artifact dir (``--workers``/``--shards``
+  parallelize the pass; results are bit-identical to serial)
 * ``export``    — (re)build the serving index from a saved checkpoint
+  (``--format dir`` writes the mmap-able uncompressed layout)
+* ``recommend`` — bulk top-K export for every warm user via the parallel
+  batch-inference runtime
 * ``serve``     — answer recommendation queries from an artifact dir
 * ``compare``   — train several models on one dataset, print a table
 
@@ -32,6 +36,7 @@ from .experiments.registry import (
 )
 from .experiments.runner import run
 from .experiments.spec import ExperimentSpec
+from .profiling import Profiler
 from .serving.export import ExportError
 
 
@@ -147,7 +152,10 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
 def cmd_train(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     artifacts_dir = args.out or os.path.join("runs", spec.name)
-    experiment = run(spec, artifacts_dir=artifacts_dir, verbose=not args.quiet)
+    experiment = run(
+        spec, artifacts_dir=artifacts_dir, verbose=not args.quiet,
+        eval_workers=args.eval_workers, eval_shards=args.eval_shards,
+    )
     result = experiment.train_result
     if result is not None and result.triples_per_sec:
         profile = result.profile
@@ -171,12 +179,32 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    import time
+
     experiment = Experiment.load(args.artifacts)
     ks = _parse_ks(args.ks) if args.ks else None
-    metrics = experiment.evaluate(ks=ks, split=args.split)
+    profiler = Profiler()
+    start = time.perf_counter()
+    metrics = experiment.evaluate(
+        ks=ks, split=args.split, workers=args.workers, shards=args.shards, profiler=profiler
+    )
+    wall = time.perf_counter() - start
     label = args.split or experiment.spec.eval.split
     print(f"{experiment.spec.name} metrics ({label}):")
     _print_metrics(metrics)
+    users = profiler.counter("evaluated_users")
+    if users and wall > 0:
+        # Phase shares come from the profiler (summed worker CPU seconds in
+        # parallel modes); throughput is quoted over wall time.
+        breakdown = profiler.format_phases()
+        # "requested": non-factorizable models and restricted sandboxes fall
+        # back to serial execution, which this process cannot observe here.
+        workers_note = f", {args.workers} workers requested" if args.workers else ""
+        shards_note = f", {args.shards} shards" if args.shards > 1 else ""
+        print(
+            f"evaluated {users:.0f} users in {wall:.2f}s "
+            f"({users / wall:,.0f} users/s{workers_note}{shards_note}; {breakdown})"
+        )
     if experiment.metrics and ks is None and args.split is None:
         drift = {
             name: abs(metrics[name] - stored)
@@ -185,22 +213,70 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         }
         worst = max(drift.values(), default=0.0)
         print(f"stored metrics.json reproduced to within {worst:.2e}")
+        if args.check and worst > 1e-12:
+            print(
+                f"FAIL: reproduced metrics drift {worst:.2e} from stored "
+                "metrics.json exceeds 1e-12 (--check)",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.check:
+        raise SystemExit("--check needs stored metrics and default --ks/--split")
     return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
     experiment = Experiment.load(args.artifacts)
-    out = args.out or os.path.join(args.artifacts, INDEX_FILENAME)
+    if args.out:
+        out = args.out
+    elif args.format == "dir":
+        out = os.path.join(args.artifacts, "index")
+    else:
+        out = os.path.join(args.artifacts, INDEX_FILENAME)
     try:
         index = experiment.export(force=True)
     except ExportError as error:
         print(f"export failed: {error}", file=sys.stderr)
         return 1
-    path = index.save(out)
+    path = index.save(out, format=args.format)
     print(
-        f"exported {index.model_name} index: {index.n_users} users x "
+        f"exported {index.model_name} index ({args.format}): {index.n_users} users x "
         f"{index.n_items} items, {len(index.branches)} branches, "
         f"{index.memory_bytes() / 1e3:.0f} kB -> {path}"
+    )
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    import time
+
+    from .runtime import recommend_all
+
+    experiment = Experiment.load(args.artifacts)
+    try:
+        index = experiment.index
+    except ExportError as error:
+        print(f"cannot build recommendations for this artifact: {error}", file=sys.stderr)
+        return 1
+    users = [int(u) for u in args.users.split(",")] if args.users else None
+    start = time.perf_counter()
+    recommendations = recommend_all(
+        index,
+        k=args.k,
+        users=users,
+        workers=args.workers,
+        shards=args.shards,
+    )
+    wall = time.perf_counter() - start
+    out = args.out or os.path.join(args.artifacts, "recommendations.npz")
+    path = recommendations.save(out)
+    n = len(recommendations.users)
+    rate = n / wall if wall > 0 else 0.0
+    workers_note = f", {args.workers} workers requested" if args.workers else ""
+    shards_note = f", {args.shards} shards" if args.shards > 1 else ""
+    print(
+        f"exported top-{recommendations.k} for {n} users in {wall:.2f}s "
+        f"({rate:,.0f} users/s{workers_note}{shards_note}) -> {path}"
     )
     return 0
 
@@ -306,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default float64; float32 is ~2x training throughput, see "
         "docs/performance.md)",
     )
+    train.add_argument(
+        "--eval-workers", type=int, default=0,
+        help="parallel workers for the final evaluation pass (results identical)",
+    )
+    train.add_argument("--eval-shards", type=int, default=1)
     train.add_argument("--quiet", action="store_true")
     train.set_defaults(func=cmd_train)
 
@@ -313,12 +394,48 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("artifacts", help="artifact directory written by `train`")
     evaluate.add_argument("--ks", help="override eval cutoffs")
     evaluate.add_argument("--split", choices=("train", "validation", "test"))
+    evaluate.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel evaluation workers (0 = serial; results are identical)",
+    )
+    evaluate.add_argument(
+        "--shards", type=int, default=1,
+        help="item-range shards per chunk (bounds peak score-buffer memory)",
+    )
+    evaluate.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless stored metrics.json is reproduced to 1e-12 "
+        "(CI guardrail for the parallel == serial determinism contract)",
+    )
     evaluate.set_defaults(func=cmd_evaluate)
 
     export = commands.add_parser("export", help="rebuild the serving index")
     export.add_argument("artifacts", help="artifact directory written by `train`")
-    export.add_argument("--out", help="index path (default: <artifacts>/index.npz)")
+    export.add_argument(
+        "--out", help="index path (default: <artifacts>/index.npz, or <artifacts>/index for --format dir)"
+    )
+    export.add_argument(
+        "--format", choices=("npz", "dir"), default="npz",
+        help="container: compressed .npz (default) or an uncompressed per-array "
+        "directory that loads with mmap (what parallel workers attach to)",
+    )
     export.set_defaults(func=cmd_export)
+
+    recommend = commands.add_parser(
+        "recommend", help="bulk top-K export for every warm user"
+    )
+    recommend.add_argument("artifacts", help="artifact directory written by `train`")
+    recommend.add_argument("--k", type=int, default=10)
+    recommend.add_argument("--users", help="comma-separated user ids (default: all warm users)")
+    recommend.add_argument(
+        "--out", help="output archive (default: <artifacts>/recommendations.npz)"
+    )
+    recommend.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel workers (0 = serial; results are identical)",
+    )
+    recommend.add_argument("--shards", type=int, default=1, help="item-range shards")
+    recommend.set_defaults(func=cmd_recommend)
 
     serve = commands.add_parser("serve", help="answer queries from an artifact dir")
     serve.add_argument("artifacts", help="artifact directory written by `train`")

@@ -98,8 +98,30 @@ class ScoreBranch:
         )
 
 
+def branches_dtype(branches: List[ScoreBranch]) -> np.dtype:
+    """The dtype :func:`score_branches` produces for these branches.
+
+    Includes the const terms: a float64 ``item_const`` upcasts the whole
+    branch sum even when the factors are float32.
+    """
+    parts = []
+    for branch in branches:
+        parts.append(branch.user.dtype)
+        parts.append(branch.item.dtype)
+        if branch.item_const is not None:
+            parts.append(branch.item_const.dtype)
+        if branch.user_const is not None:
+            parts.append(branch.user_const.dtype)
+    return np.result_type(*parts)
+
+
 def score_branches(
-    branches: List[ScoreBranch], users: np.ndarray, start: int = 0, stop: Optional[int] = None
+    branches: List[ScoreBranch],
+    users: np.ndarray,
+    start: int = 0,
+    stop: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Dense ``(len(users), stop - start)`` scores from branch factors.
 
@@ -107,10 +129,53 @@ def score_branches(
     :class:`~repro.serving.index.EmbeddingIndex` (frozen serving) both call
     it, which is what guarantees exported indexes reproduce live scores
     bit-for-bit — same operations, same order, one implementation.
+
+    ``out`` (and, for multi-branch factorizations, ``scratch``) lets hot
+    callers reuse preallocated buffers: results are written into
+    ``out[:len(users), :stop-start]`` and that view is returned, with no
+    per-call allocation beyond the user-row gathers.  The in-place path
+    applies the same operations in the same order as the allocating path,
+    so scores are bit-identical either way.  Buffers whose dtype does not
+    match the branches' score dtype are ignored (the allocating path runs
+    instead), so a mismatched hint can never change results.
     """
     users = np.asarray(users, dtype=np.int64)
     if stop is None:
         stop = branches[0].item.shape[0]
+    width = stop - start
+
+    dtype = branches_dtype(branches)
+    uniform = all(
+        branch.user.dtype == dtype and branch.item.dtype == dtype
+        and (branch.item_const is None or branch.item_const.dtype == dtype)
+        and (branch.user_const is None or branch.user_const.dtype == dtype)
+        for branch in branches
+    )
+    if (
+        out is not None
+        and uniform
+        and out.dtype == dtype
+        and out.shape[0] >= len(users)
+        and out.shape[1] >= width
+    ):
+        view = out[: len(users), :width]
+        part = view
+        for i, branch in enumerate(branches):
+            if i > 0:
+                if scratch is None or scratch.dtype != dtype or scratch.shape[0] < len(users) or scratch.shape[1] < width:
+                    scratch = np.empty_like(out)
+                part = scratch[: len(users), :width]
+            np.matmul(branch.user[users], branch.item[start:stop].T, out=part)
+            if branch.item_const is not None:
+                np.add(part, branch.item_const[None, start:stop], out=part)
+            if branch.user_const is not None:
+                np.add(part, branch.user_const[users][:, None], out=part)
+            if branch.weight != 1.0:
+                np.multiply(part, branch.weight, out=part)
+            if i > 0:
+                np.add(view, part, out=view)
+        return view
+
     total: Optional[np.ndarray] = None
     for branch in branches:
         part = branch.user[users] @ branch.item[start:stop].T

@@ -109,6 +109,27 @@ class ItemCatalog:
         )
 
 
+def expand_csr_rows(indptr: np.ndarray, indices: np.ndarray, users: np.ndarray):
+    """Expand CSR slices for ``users`` into ``(rows, cols)`` scatter pairs.
+
+    ``rows`` indexes into ``users`` (0..len(users)-1) and ``cols`` is the
+    concatenation of ``indices[indptr[u]:indptr[u+1]]`` per user — computed
+    as one vectorized multi-range gather, no per-user Python loop.  Returns
+    ``(None, None)`` when every selected slice is empty.  Shared by the
+    batch-inference kernel and the serial evaluation fallback for masking
+    train positives out of score matrices.
+    """
+    starts = indptr[users]
+    counts = indptr[users + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return None, None
+    rows = np.repeat(np.arange(len(users)), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = np.repeat(starts - offsets, counts) + np.arange(total)
+    return rows, indices[positions]
+
+
 @dataclass
 class Dataset:
     """A complete price-aware recommendation dataset with a fixed split."""
@@ -121,6 +142,7 @@ class Dataset:
     validation: InteractionTable
     test: InteractionTable
     _train_pos: Optional[Dict[int, Set[int]]] = field(default=None, repr=False)
+    _train_csr: Optional[tuple] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.catalog) != self.n_items:
@@ -167,6 +189,31 @@ class Dataset:
         for user, item in zip(table.users, table.items):
             pos.setdefault(int(user), set()).add(int(item))
         return pos
+
+    def train_exclusion_csr(self) -> tuple:
+        """Train-positive items per user as ``(indptr, indices)``, items sorted.
+
+        The CSR form of :meth:`train_positive_sets` (deduplicated, item ids
+        ascending within each user): ``indices[indptr[u]:indptr[u+1]]`` is
+        user ``u``'s training items.  Shared by the serving exporter (the
+        "already bought" exclusion mask) and the batch evaluation runtime
+        (vectorized exclusion scatter); cached after the first call.
+        """
+        if self._train_csr is None:
+            order = np.lexsort((self.train.items, self.train.users))
+            users = self.train.users[order]
+            items = self.train.items[order]
+            # Deduplicate repeat purchases of the same item.
+            if len(users):
+                keep = np.ones(len(users), dtype=bool)
+                keep[1:] = (users[1:] != users[:-1]) | (items[1:] != items[:-1])
+                users, items = users[keep], items[keep]
+            counts = np.zeros(self.n_users, dtype=np.int64)
+            np.add.at(counts, users, 1)
+            indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._train_csr = (indptr, items.astype(np.int64))
+        return self._train_csr
 
     def train_matrix(self) -> sp.csr_matrix:
         """Binary user-item matrix over the training split."""

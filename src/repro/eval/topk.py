@@ -51,6 +51,48 @@ def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
     return chosen[np.argsort(-scores[chosen], kind="stable")]
 
 
+def topk_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`topk_indices`: one ``(rows, k)`` matrix per call.
+
+    Bit-identical to calling :func:`topk_indices` on every row — the batch
+    evaluation runtime depends on that for its parallel == serial contract —
+    but the partition/selection runs vectorized across the whole chunk.
+    Rows whose k-boundary ties are ambiguous (more entries tied at the
+    threshold than open slots) are repaired through the per-row kernel;
+    with continuous scores that is a vanishing fraction of rows.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    rows, n = scores.shape
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+    if rows == 0:
+        return np.empty((0, k), dtype=np.intp)
+    if k == n:
+        return np.argsort(-scores, axis=1, kind="stable")
+
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    threshold = part_scores.min(axis=1)
+    # Selected ids in ascending order per row, then a stable sort on the
+    # negated scores: ties at equal score keep ascending id — exactly the
+    # (score desc, id asc) order topk_indices produces.
+    selected = np.sort(part, axis=1)
+    selected_scores = np.take_along_axis(scores, selected, axis=1)
+    order = np.argsort(-selected_scores, axis=1, kind="stable")
+    top = np.take_along_axis(selected, order, axis=1)
+
+    # The partition's choice among boundary ties is arbitrary whenever more
+    # entries tie at the threshold than there are slots left above it.
+    n_above = (part_scores > threshold[:, None]).sum(axis=1)
+    n_tied = (scores == threshold[:, None]).sum(axis=1)
+    for row in np.flatnonzero(n_tied > k - n_above):
+        top[row] = topk_indices(scores[row], k)
+    return top
+
+
 def topk_pairs(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:
     """Top-``k`` positions into parallel ``(item_ids, scores)`` arrays.
 
@@ -64,6 +106,30 @@ def topk_pairs(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:
         raise ValueError(f"ids/scores shape mismatch: {item_ids.shape} vs {scores.shape}")
     order = np.lexsort((item_ids, -scores))
     return order[: min(k, len(order))]
+
+
+def topk_pairs_rows(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`topk_pairs` over ``(rows, L)`` candidate matrices.
+
+    Bit-identical to ``topk_pairs`` applied per row (same lexicographic
+    (score desc, item id asc) order), vectorized as two stable row sorts:
+    first by item id, then by negated score — a stable sort of a sort is a
+    lexsort.  Used to merge per-shard candidates for a whole user chunk in
+    one call.
+    """
+    item_ids = np.asarray(item_ids)
+    scores = np.asarray(scores)
+    if item_ids.ndim != 2 or item_ids.shape != scores.shape:
+        raise ValueError(
+            f"ids/scores must be matching 2-D arrays, got {item_ids.shape} vs {scores.shape}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    by_id = np.argsort(item_ids, axis=1, kind="stable")
+    scores_by_id = np.take_along_axis(scores, by_id, axis=1)
+    by_score = np.argsort(-scores_by_id, axis=1, kind="stable")
+    order = np.take_along_axis(by_id, by_score, axis=1)
+    return order[:, : min(k, order.shape[1])]
 
 
 def masked_topk(
@@ -82,11 +148,18 @@ def masked_topk(
     that surface results to users never emit an excluded item.  (A
     legitimate item whose own score is ``-inf`` is indistinguishable from a
     masked one and is dropped too; finite scores are never affected.)
+
+    Masking happens in the scores' own floating dtype — a float32 row is
+    ranked as float32, never upcast to a float64 copy (upcasting is lossless
+    for comparison order, so rankings are unchanged; the copy was pure
+    memory traffic).  Non-float input is still coerced to float64.
     """
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores)
+    if scores.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        scores = scores.astype(np.float64)
     masked = candidate_items is not None or exclude_items is not None
     if candidate_items is not None:
-        mask = np.full(scores.shape[0], NEG_INF)
+        mask = np.full(scores.shape[0], NEG_INF, dtype=scores.dtype)
         mask[candidate_items] = 0.0
         scores = scores + mask
     if exclude_items is not None and len(exclude_items):

@@ -70,6 +70,7 @@ class Experiment:
         metrics: Optional[Dict[str, float]] = None,
         index: Optional[EmbeddingIndex] = None,
         artifacts_dir: Optional[str] = None,
+        eval_profile: Optional[Dict] = None,
     ) -> None:
         self.spec = spec
         self.dataset = dataset
@@ -78,6 +79,9 @@ class Experiment:
         self.metrics = dict(metrics or {})
         self._index = index
         self.artifacts_dir = artifacts_dir
+        #: profiler summary of the evaluation pass (score/topk/merge/metrics
+        #: phases); persisted in metrics.json next to the training profile
+        self.eval_profile = eval_profile
 
     # ------------------------------------------------------------------
     # Serving surface
@@ -104,13 +108,24 @@ class Experiment:
         return RecommenderService(self.index, **kwargs)
 
     def topk(
-        self, users: Sequence[int], k: int = 10, exclude_train: bool = True
+        self, users: Sequence[int], k: int = 10, exclude_train: bool = True,
+        workers: int = 0, shards: int = 1,
     ) -> Dict[int, np.ndarray]:
         """Offline top-K rankings from the live model (evaluator semantics)."""
-        return topk_rankings(self.model, self.dataset, users, k=k, exclude_train=exclude_train)
+        return topk_rankings(
+            self.model, self.dataset, users, k=k, exclude_train=exclude_train,
+            workers=workers, shards=shards,
+        )
 
-    def evaluate(self, ks: Optional[Sequence[int]] = None, split: Optional[str] = None):
-        """Re-run the spec's eval protocol (optionally overriding ks/split)."""
+    def evaluate(
+        self, ks: Optional[Sequence[int]] = None, split: Optional[str] = None,
+        workers: int = 0, shards: int = 1, profiler=None,
+    ):
+        """Re-run the spec's eval protocol (optionally overriding ks/split).
+
+        ``workers`` / ``shards`` parallelize the pass without changing any
+        result bit (see :mod:`repro.runtime`).
+        """
         protocol = self.spec.eval
         if ks is not None or split is not None:
             protocol = type(protocol)(
@@ -118,7 +133,7 @@ class Experiment:
                 ks=tuple(ks) if ks is not None else protocol.ks,
                 exclude_train=protocol.exclude_train,
             )
-        return protocol.run(self.model, self.dataset)
+        return protocol.run(self.model, self.dataset, workers=workers, shards=shards, profiler=profiler)
 
     # ------------------------------------------------------------------
     # Artifact store
@@ -175,6 +190,7 @@ class Experiment:
                 "metrics": self.metrics,
                 "train": train_summary,
                 "eval": self.spec.eval.to_dict(),
+                "eval_profile": self.eval_profile,
                 "index": index_file,
             },
         )
@@ -218,10 +234,12 @@ class Experiment:
 
         metrics: Dict[str, float] = {}
         train_result = None
+        eval_profile = None
         metrics_path = os.path.join(artifacts_dir, METRICS_FILENAME)
         if os.path.exists(metrics_path):
             stored = _read_json(metrics_path)
             metrics = stored.get("metrics") or {}
+            eval_profile = stored.get("eval_profile")
             curves_path = os.path.join(artifacts_dir, LOSS_CURVE_FILENAME)
             curves = _read_json(curves_path) if os.path.exists(curves_path) else {}
             if stored.get("train") is not None or curves:
@@ -237,4 +255,5 @@ class Experiment:
             metrics=metrics,
             index=index,
             artifacts_dir=artifacts_dir,
+            eval_profile=eval_profile,
         )

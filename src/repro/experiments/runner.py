@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from ..nn import precision
+from ..profiling import Profiler
 from ..train.trainer import train_model
 from .artifacts import Experiment
 from .registry import model_display_name
@@ -21,12 +22,16 @@ def run(
     spec: Union[ExperimentSpec, Dict],
     artifacts_dir: Optional[str] = None,
     verbose: bool = False,
+    eval_workers: int = 0,
+    eval_shards: int = 1,
 ) -> Experiment:
     """Run one experiment; returns the live :class:`Experiment` handle.
 
     ``spec`` may be an :class:`ExperimentSpec` or its ``to_dict`` form.
     With ``artifacts_dir`` set, the full artifact directory (spec,
     checkpoint, index, metrics, loss curve) is written before returning.
+    ``eval_workers`` / ``eval_shards`` parallelize the final evaluation
+    pass (results are bit-identical to serial; see :mod:`repro.runtime`).
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
@@ -48,12 +53,18 @@ def run(
         if verbose and train_result.triples_per_sec:
             print(f"[{spec.name}] trained at {train_result.triples_per_sec:,.0f} triples/s")
         model.eval()
-        metrics = spec.eval.run(model, dataset)
+        eval_profiler = Profiler()
+        metrics = spec.eval.run(
+            model, dataset, workers=eval_workers, shards=eval_shards, profiler=eval_profiler
+        )
     if verbose:
         summary = "  ".join(f"{name}={value:.4f}" for name, value in metrics.items())
         print(f"[{spec.name}] {summary}")
 
-    experiment = Experiment(spec, dataset, model, train_result=train_result, metrics=metrics)
+    experiment = Experiment(
+        spec, dataset, model, train_result=train_result, metrics=metrics,
+        eval_profile=eval_profiler.summary(),
+    )
     if artifacts_dir is not None:
         experiment.save(artifacts_dir)
         if verbose:

@@ -87,10 +87,20 @@ class EvalSpec:
             raise ValueError(f"ks must be positive cutoffs, got {self.ks}")
         self.exclude_train = bool(self.exclude_train)
 
-    def run(self, model, dataset) -> Dict[str, float]:
-        """Evaluate ``model`` under this protocol."""
+    def run(
+        self, model, dataset, workers: int = 0, mode: str = "auto", shards: int = 1,
+        profiler=None,
+    ) -> Dict[str, float]:
+        """Evaluate ``model`` under this protocol.
+
+        ``workers`` / ``mode`` / ``shards`` are execution knobs, not part of
+        the protocol — results are bit-identical for every setting (see
+        :mod:`repro.runtime`), which is why they are call-time arguments
+        rather than serialized spec fields.
+        """
         return evaluate(
-            model, dataset, split=self.split, ks=self.ks, exclude_train=self.exclude_train
+            model, dataset, split=self.split, ks=self.ks, exclude_train=self.exclude_train,
+            workers=workers, mode=mode, shards=shards, profiler=profiler,
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,15 +1,19 @@
-"""Lightweight training/serving profiler: scoped timers + counters.
+"""Lightweight training/serving/evaluation profiler: scoped timers + counters.
 
 A :class:`Profiler` accumulates wall-time per named phase (``sampling``,
-``forward``, ``backward``, ``step`` in the trainer) plus arbitrary counters
-(triples processed, batches, epochs), and renders a JSON-safe summary with
+``forward``, ``backward``, ``step`` in the trainer; ``score``, ``topk``,
+``merge``, ``metrics`` in the evaluator) plus arbitrary counters (triples
+processed, batches, evaluated users), and renders a JSON-safe summary with
 derived throughput.  It is cheap enough to leave on unconditionally —
 overhead is two ``perf_counter`` calls per phase — and a disabled instance
 degrades to no-ops so hot loops never need ``if profiler:`` guards.
 
 Used by :class:`repro.train.trainer.Trainer` (surfaced on
-:class:`~repro.train.trainer.TrainResult.profile` and the CLI) and by
-``benchmarks/bench_training.py``.
+:class:`~repro.train.trainer.TrainResult.profile` and the CLI), by
+:func:`repro.eval.ranking.evaluate` (surfaced by ``repro evaluate`` and in
+every artifact's ``metrics.json``), and by the benchmarks.  In parallel
+evaluation the kernel phases are summed across workers, so they are CPU
+seconds rather than wall time — shares still show where the work went.
 """
 
 from __future__ import annotations
@@ -60,6 +64,10 @@ class Profiler:
         """Sum over all phases."""
         return sum(self._seconds.values())
 
+    def phase_seconds(self, names) -> float:
+        """Sum over a subset of phases (absent phases count as 0)."""
+        return sum(self._seconds.get(name, 0.0) for name in names)
+
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------
@@ -98,6 +106,12 @@ class Profiler:
         }
         if "triples" in self._counters and total > 0:
             summary["triples_per_sec"] = self._counters["triples"] / total
+        # Parallel evaluation sums kernel phases across workers (CPU
+        # seconds), so throughput is quoted over the wall-clock counter the
+        # evaluator records, never over the phase sum.
+        eval_wall = self._counters.get("eval_wall_seconds", 0.0)
+        if "evaluated_users" in self._counters and eval_wall > 0:
+            summary["users_per_sec"] = self._counters["evaluated_users"] / eval_wall
         return summary
 
     def format_phases(self) -> str:

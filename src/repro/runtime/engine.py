@@ -1,0 +1,343 @@
+"""The batch-inference execution engine: chunk dispatch + bulk export.
+
+:class:`BatchRuntime` turns a frozen factorization (an
+:class:`~repro.serving.index.EmbeddingIndex` or raw branches) plus an
+exclusion mask into a reusable executor: ``rank(users, k)`` splits the
+users into fixed-size chunks, dispatches them to a
+:class:`~repro.runtime.pool.WorkerPool`, and reassembles results in user
+order.  The chunk layout depends only on ``user_chunk`` — never on the
+worker count or pool mode — and every chunk runs the same
+:meth:`~repro.runtime.sharded.ShardedIndex.topk_chunk` kernel, which is
+what makes rankings bit-identical across serial, threaded, and
+multi-process execution.
+
+Worker transport: process pools prefer the ``fork`` start method, so the
+factorization is inherited copy-on-write — zero copies, zero pickling.
+When the runtime is built from an index loaded with
+``EmbeddingIndex.load(path, mmap=True)``, workers instead re-attach to the
+on-disk directory by path, mapping the same page-cache copy (this is also
+what makes ``spawn``-only platforms cheap).  Each worker keeps one
+preallocated score buffer per thread, so steady-state evaluation performs
+no per-chunk score-matrix allocations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.base import ScoreBranch
+from .pool import WorkerPool
+from .sharded import ShardedIndex, _Buffers
+
+#: profiler phase names the runtime reports (mirrors the trainer's phases)
+EVAL_PHASES = ("score", "topk", "merge")
+
+
+@dataclass
+class RuntimeConfig:
+    """Execution knobs — none of them can change results, only wall time."""
+
+    workers: int = 0
+    mode: str = "auto"
+    shards: int = 1
+    user_chunk: int = 256
+
+    def __post_init__(self) -> None:
+        if self.user_chunk < 1:
+            raise ValueError(f"user_chunk must be >= 1, got {self.user_chunk}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+
+class _WorkerState:
+    """Per-process (or shared, for threads) kernel state with local buffers."""
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        self.sharded = sharded
+        self.exclude_csr = exclude_csr
+        self._local = threading.local()
+
+    def buffers(self) -> _Buffers:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = self._local.buffers = _Buffers()
+        return buffers
+
+
+#: process-pool worker state, populated by :func:`_init_process_worker`
+_PROCESS_STATE: Optional[_WorkerState] = None
+
+
+def _build_state(spec: Dict) -> _WorkerState:
+    if spec.get("index_path") is not None:
+        from ..serving.index import EmbeddingIndex  # deferred: avoids a cycle
+
+        index = EmbeddingIndex.load(spec["index_path"], mmap=spec.get("index_mmap", False))
+        branches = index.branches
+        exclude_csr = (
+            (index.exclude_indptr, index.exclude_indices) if spec["exclude"] else None
+        )
+    else:
+        branches = spec["branches"]
+        exclude_csr = spec["exclude_csr"]
+    return _WorkerState(ShardedIndex(branches, spec["shards"]), exclude_csr)
+
+
+def _init_process_worker(spec: Dict) -> None:
+    global _PROCESS_STATE
+    _PROCESS_STATE = _build_state(spec)
+
+
+def _rank_chunk_process(payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict]:
+    chunk_id, ids, scores, timings = _rank_chunk(_PROCESS_STATE, payload)
+    # Item ids always fit int32 (catalogs are nowhere near 2**31); halving
+    # the result payload halves the pickle/IPC cost of the hot direction.
+    return chunk_id, ids.astype(np.int32, copy=False), scores, timings
+
+
+def _rank_chunk(state: _WorkerState, payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict]:
+    chunk_id, users, k, with_scores, candidates = payload
+    timings: Dict[str, float] = {}
+    ids, scores = state.sharded.topk_chunk(
+        users,
+        k,
+        exclude_csr=state.exclude_csr,
+        candidate_items=candidates,
+        buffers=state.buffers(),
+        with_scores=with_scores,
+        timings=timings,
+    )
+    return chunk_id, ids, scores, timings
+
+
+class BatchRuntime:
+    """A reusable parallel executor for full-catalog top-K over many users.
+
+    ``source`` is an :class:`~repro.serving.index.EmbeddingIndex` or a list
+    of :class:`~repro.core.base.ScoreBranch` factors.  ``exclude_csr`` is
+    the per-user exclusion mask as ``(indptr, indices)``; pass
+    ``exclude_csr=None`` for unmasked ranking.  The runtime is a context
+    manager; ``close()`` tears the pool down.
+    """
+
+    def __init__(
+        self,
+        source: Union["EmbeddingIndex", Sequence[ScoreBranch]],
+        config: Optional[RuntimeConfig] = None,
+        exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        branches = list(getattr(source, "branches", source))
+        self._state = _WorkerState(ShardedIndex(branches, self.config.shards), exclude_csr)
+        self.n_items = self._state.sharded.n_items
+
+        # Spec the process-pool workers rebuild their state from.  An index
+        # that knows its on-disk mmap location is shipped as a path (workers
+        # attach to the shared on-disk copy); everything else ships the
+        # arrays themselves — free under fork (inherited), a one-time copy
+        # under spawn.
+        index_path = getattr(source, "source_path", None)
+        index_mmap = bool(getattr(source, "source_mmap", False))
+        if index_path is not None and index_mmap and exclude_csr is not None:
+            exclude_is_index_own = exclude_csr[0] is getattr(source, "exclude_indptr", None)
+        else:
+            exclude_is_index_own = False
+        if index_path is not None and index_mmap and (exclude_csr is None or exclude_is_index_own):
+            spec: Dict = {
+                "index_path": index_path,
+                "index_mmap": True,
+                "exclude": exclude_csr is not None,
+                "shards": self.config.shards,
+            }
+        else:
+            spec = {
+                "index_path": None,
+                "branches": branches,
+                "exclude_csr": exclude_csr,
+                "shards": self.config.shards,
+            }
+        self._pool = WorkerPool(
+            workers=self.config.workers,
+            mode=self.config.mode,
+            initializer=_init_process_worker,
+            initargs=(spec,),
+        )
+        self.mode = self._pool.mode
+
+    @property
+    def has_exclusions(self) -> bool:
+        """Whether this runtime was built with a per-user exclusion mask."""
+        return self._state.exclude_csr is not None
+
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        users: Sequence[int],
+        k: int,
+        with_scores: bool = False,
+        candidate_items: Optional[Dict[int, np.ndarray]] = None,
+        profiler=None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Top-``k`` over the full catalog for every user, in user order.
+
+        Returns ``(users, ids, scores)`` where ``ids`` is an
+        ``(len(users), min(k, n_items))`` int64 matrix (``scores`` is None
+        unless ``with_scores``).  ``candidate_items`` optionally restricts
+        per-user pools (cold-start protocols).  With a ``profiler``, the
+        per-chunk ``score`` / ``topk`` / ``merge`` seconds are accumulated
+        under those phase names — summed across workers, so in parallel
+        modes they are CPU seconds, not wall time.
+        """
+        users = np.asarray(list(users), dtype=np.int64)
+        k = min(int(k), self.n_items)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if len(users) == 0:
+            empty = np.empty((0, k), dtype=np.int64)
+            return users, empty, (np.empty((0, k)) if with_scores else None)
+
+        chunk = self.config.user_chunk
+        payloads = []
+        for chunk_id, start in enumerate(range(0, len(users), chunk)):
+            chunk_users = users[start : start + chunk]
+            candidates = None
+            if candidate_items is not None:
+                candidates = [candidate_items.get(int(user)) for user in chunk_users]
+            payloads.append((chunk_id, chunk_users, k, with_scores, candidates))
+
+        if self._pool.mode == "process":
+            results = self._pool.map(_rank_chunk_process, payloads)
+        else:
+            state = self._state
+            results = self._pool.map(lambda payload: _rank_chunk(state, payload), payloads)
+
+        results.sort(key=lambda item: item[0])
+        ids = np.vstack([item[1] for item in results]).astype(np.int64, copy=False)
+        scores = np.vstack([item[2] for item in results]) if with_scores else None
+        if profiler is not None:
+            totals: Dict[str, float] = {}
+            for _, _, _, timings in results:
+                for name, seconds in timings.items():
+                    totals[name] = totals.get(name, 0.0) + seconds
+            for name in EVAL_PHASES:
+                if name in totals:
+                    profiler.add_seconds(name, totals[name])
+        return users, ids, scores
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "BatchRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Bulk offline export
+# ----------------------------------------------------------------------
+BULK_KIND = "bulk_recommendations"
+
+
+@dataclass
+class BulkRecommendations:
+    """Top-K lists for a population of users, as parallel arrays.
+
+    Rows are dense (uniform ``k``), so a user whose unexcluded candidate
+    pool is smaller than ``k`` gets sentinel padding: item id ``-1`` with
+    score ``-inf``.  Consumers must stop at the first ``-1`` — the online
+    serving path (``drop_masked=True``) would simply emit a shorter list.
+    """
+
+    users: np.ndarray  # (n,)
+    items: np.ndarray  # (n, k); -1 marks padding past the candidate pool
+    scores: np.ndarray  # (n, k)
+    model_name: str = "unknown"
+
+    @property
+    def k(self) -> int:
+        return self.items.shape[1]
+
+    def for_user(self, user: int) -> Tuple[np.ndarray, np.ndarray]:
+        rows = np.flatnonzero(self.users == user)
+        if len(rows) == 0:
+            raise KeyError(f"user {user} is not in this export")
+        return self.items[rows[0]], self.scores[rows[0]]
+
+    def save(self, path: str) -> str:
+        from ..train import persistence  # deferred: train imports eval imports runtime
+
+        return persistence.write_archive(
+            path,
+            {"users": self.users, "items": self.items, "scores": self.scores},
+            {
+                persistence.KIND_KEY: BULK_KIND,
+                "model_name": self.model_name,
+                "k": int(self.k),
+                "n_users": int(len(self.users)),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BulkRecommendations":
+        from ..train import persistence  # deferred: train imports eval imports runtime
+
+        metadata = persistence.read_archive_metadata(path)
+        kind = persistence.archive_kind(metadata)
+        if kind != BULK_KIND:
+            raise ValueError(f"{path} holds a {kind!r} artifact, not bulk recommendations")
+        arrays = persistence.read_archive_arrays(path)
+        return cls(
+            users=arrays["users"],
+            items=arrays["items"],
+            scores=arrays["scores"],
+            model_name=metadata.get("model_name", "unknown"),
+        )
+
+
+def recommend_all(
+    index: "EmbeddingIndex",
+    k: int = 10,
+    users: Optional[Sequence[int]] = None,
+    exclude_train: bool = True,
+    workers: int = 0,
+    mode: str = "auto",
+    shards: int = 1,
+    user_chunk: int = 1024,
+    profiler=None,
+) -> BulkRecommendations:
+    """Bulk top-``k`` export for every warm user (or an explicit user list).
+
+    The offline counterpart of :class:`~repro.serving.service.RecommenderService`
+    — one call scores the whole population against the full catalog through
+    the parallel runtime and returns dense ``(users, items, scores)`` arrays
+    ready to push to a key-value store.  Results are bit-identical for any
+    ``workers`` / ``mode`` / ``shards`` setting, and identical to the
+    retrieval engine's unfiltered rankings for the same users.
+    """
+    if users is None:
+        counts = np.diff(index.exclude_indptr)
+        users = np.flatnonzero(counts > 0)
+    config = RuntimeConfig(workers=workers, mode=mode, shards=shards, user_chunk=user_chunk)
+    exclude_csr = (index.exclude_indptr, index.exclude_indices) if exclude_train else None
+    with BatchRuntime(index, config, exclude_csr=exclude_csr) as runtime:
+        ordered, ids, scores = runtime.rank(users, k, with_scores=True, profiler=profiler)
+    # A -inf score means the selection ran past the user's unexcluded pool
+    # and padded with masked entries; exporting those ids would recommend
+    # already-bought items the online path never emits.  Replace with the
+    # -1 sentinel.  (A legitimate item whose model score is exactly -inf is
+    # indistinguishable and sentineled too — finite scores are unaffected,
+    # the same caveat the serving engine's drop_masked documents.)
+    ids = np.where(scores > -np.inf, ids, -1)
+    return BulkRecommendations(
+        users=ordered, items=ids, scores=scores, model_name=index.model_name
+    )

@@ -1,0 +1,128 @@
+"""Order-preserving worker pools with process/thread/serial modes.
+
+:class:`WorkerPool` is the one execution primitive the batch-inference
+runtime uses: ``map(fn, payloads)`` returns results in payload order no
+matter which worker computed them, which is half of the determinism
+contract (the other half is that every payload is computed by the same
+pure kernel).
+
+Mode resolution is graceful: ``"auto"`` prefers a process pool (true
+parallelism, ``fork`` start method where the OS offers it so workers
+inherit read-only state copy-on-write instead of pickling it), falls back
+to a thread pool when process creation fails (restricted sandboxes,
+missing ``/dev/shm``), and to serial execution when even threads are
+unavailable.  Explicitly requested modes fall back the same way with a
+warning rather than crashing an evaluation that would succeed serially —
+results are identical in every mode, only wall time differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
+
+MODES = ("auto", "serial", "thread", "process")
+
+
+def _fork_context():
+    """The preferred multiprocessing context (fork when the OS has it)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """Maps payloads over ``workers`` workers, preserving payload order.
+
+    ``workers <= 1`` always resolves to serial execution.  ``initializer``
+    (with ``initargs``) runs once per process-pool worker — under the
+    ``fork`` start method the arguments are inherited, not pickled, so
+    passing large read-only arrays is free.  Thread and serial modes share
+    the caller's memory and do not need (or run) the initializer unless
+    ``initialize_local=True``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        mode: str = "auto",
+        initializer: Optional[Callable] = None,
+        initargs: Sequence = (),
+        initialize_local: bool = False,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.requested_mode = mode
+        self._pool = None
+        self._executor = None
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._initialize_local = initialize_local
+        self.mode = self._resolve(mode)
+
+    # ------------------------------------------------------------------
+    def _resolve(self, mode: str) -> str:
+        if self.workers <= 1 or mode == "serial":
+            self._init_local()
+            return "serial"
+        if mode in ("auto", "process"):
+            try:
+                context = _fork_context()
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+                return "process"
+            except Exception as error:  # pragma: no cover - platform dependent
+                if mode == "process":
+                    warnings.warn(
+                        f"process pool unavailable ({error}); falling back to threads",
+                        stacklevel=3,
+                    )
+        try:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            self._init_local()
+            return "thread"
+        except Exception as error:  # pragma: no cover - platform dependent
+            warnings.warn(
+                f"thread pool unavailable ({error}); falling back to serial",
+                stacklevel=3,
+            )
+            self._init_local()
+            return "serial"
+
+    def _init_local(self) -> None:
+        if self._initializer is not None and self._initialize_local:
+            self._initializer(*self._initargs)
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, payloads: Iterable) -> List:
+        """``[fn(p) for p in payloads]``, parallelized, results in order."""
+        payloads = list(payloads)
+        if self.mode == "process":
+            return self._pool.map(fn, payloads, chunksize=1)
+        if self.mode == "thread":
+            return list(self._executor.map(fn, payloads))
+        return [fn(payload) for payload in payloads]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

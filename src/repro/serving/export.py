@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..core.base import Recommender
 from ..data.dataset import Dataset
 from ..train.persistence import load_checkpoint
@@ -23,23 +21,6 @@ from .index import EmbeddingIndex
 
 class ExportError(RuntimeError):
     """The model cannot be frozen into an embedding index."""
-
-
-def _exclusion_csr(dataset: Dataset) -> tuple:
-    """Train-positive items per user as (indptr, indices), items sorted."""
-    order = np.lexsort((dataset.train.items, dataset.train.users))
-    users = dataset.train.users[order]
-    items = dataset.train.items[order]
-    # Deduplicate repeat purchases of the same item.
-    if len(users):
-        keep = np.ones(len(users), dtype=bool)
-        keep[1:] = (users[1:] != users[:-1]) | (items[1:] != items[:-1])
-        users, items = users[keep], items[keep]
-    counts = np.zeros(dataset.n_users, dtype=np.int64)
-    np.add.at(counts, users, 1)
-    indptr = np.zeros(dataset.n_users + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    return indptr, items.astype(np.int64)
 
 
 def export_index(
@@ -67,7 +48,7 @@ def export_index(
             f"{dataset.n_users}/{dataset.n_items}"
         )
 
-    indptr, indices = _exclusion_csr(dataset)
+    indptr, indices = dataset.train_exclusion_csr()
     return EmbeddingIndex(
         branches=branches,
         item_categories=dataset.item_categories,

@@ -22,6 +22,7 @@ and indexes are mutually rejecting on load.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -65,6 +66,9 @@ class EmbeddingIndex:
         self.n_items = n_items
         self.model_name = model_name
         self.extra = dict(extra or {})
+        #: set by :meth:`load` — lets the batch runtime re-attach workers by path
+        self.source_path: Optional[str] = None
+        self.source_mmap: bool = False
 
         self.item_categories = np.asarray(item_categories, dtype=np.int64)
         self.item_price_levels = np.asarray(item_price_levels, dtype=np.int64)
@@ -136,7 +140,17 @@ class EmbeddingIndex:
     # ------------------------------------------------------------------
     # Serialization (reuses the train.persistence archive layer)
     # ------------------------------------------------------------------
-    def save(self, path: str) -> str:
+    def save(self, path: str, format: str = "npz") -> str:
+        """Persist the index; ``format`` picks the container.
+
+        ``"npz"`` (default) writes the compact compressed archive; ``"dir"``
+        writes an uncompressed per-array directory that :meth:`load` can
+        memory-map (``mmap=True``) — the format the parallel batch-inference
+        runtime uses so worker processes attach to one on-disk copy instead
+        of each deserializing the full archive.
+        """
+        if format not in ("npz", "dir"):
+            raise ValueError(f"format must be 'npz' or 'dir', got {format!r}")
         arrays: Dict[str, np.ndarray] = {
             "item_categories": self.item_categories,
             "item_price_levels": self.item_price_levels,
@@ -173,10 +187,21 @@ class EmbeddingIndex:
             "branches": branch_meta,
             "extra": self.extra,
         }
+        if format == "dir":
+            return persistence.write_archive_dir(path, arrays, metadata)
         return persistence.write_archive(path, arrays, metadata)
 
     @classmethod
-    def load(cls, path: str) -> "EmbeddingIndex":
+    def load(cls, path: str, mmap: bool = False) -> "EmbeddingIndex":
+        """Load an index from either container format.
+
+        ``mmap=True`` memory-maps the arrays of a directory-format index
+        (written with ``save(path, format="dir")``) instead of copying them
+        into process memory — attaching is near-instant and concurrent
+        workers share one page-cache copy.  Legacy compressed ``.npz``
+        archives are read transparently either way (``mmap`` has no effect
+        on them; the zip container cannot be mapped).
+        """
         metadata = persistence.read_archive_metadata(path)
         kind = persistence.archive_kind(metadata)
         if kind != INDEX_KIND:
@@ -189,7 +214,7 @@ class EmbeddingIndex:
                 f"index format v{metadata['format_version']} is newer than this "
                 f"reader (v{FORMAT_VERSION})"
             )
-        arrays = persistence.read_archive_arrays(path)
+        arrays = persistence.read_archive_arrays(path, mmap=mmap)
         branches = []
         for i, meta in enumerate(metadata["branches"]):
             branches.append(
@@ -201,7 +226,7 @@ class EmbeddingIndex:
                     weight=meta["weight"],
                 )
             )
-        return cls(
+        index = cls(
             branches=branches,
             item_categories=arrays["item_categories"],
             item_price_levels=arrays["item_price_levels"],
@@ -214,3 +239,12 @@ class EmbeddingIndex:
             model_name=metadata["model_name"],
             extra=metadata.get("extra") or {},
         )
+        # Where this index came from, so the batch-inference runtime can tell
+        # worker processes to re-attach by path (mmap) instead of shipping
+        # the arrays through pickling.  Only a directory archive is actually
+        # mapped — a legacy .npz loaded with mmap=True is plain in-memory
+        # data, and advertising it as mapped would make workers re-decompress
+        # the archive instead of inheriting the arrays copy-on-write.
+        index.source_path = path
+        index.source_mmap = bool(mmap) and os.path.isdir(path)
+        return index

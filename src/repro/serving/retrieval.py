@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..eval.topk import NEG_INF, masked_topk, topk_indices, topk_pairs
+from ..eval.topk import NEG_INF, masked_topk, topk_indices_rows, topk_pairs_rows
 from .filters import Filter, combine_mask, combine_signature
 from .index import EmbeddingIndex
 
@@ -172,14 +172,17 @@ class RetrievalEngine:
         Every global top-``k`` element is inside its own block's top-``k``
         (selection is monotone), so merging per-block candidates with the
         same (score desc, id asc) order reproduces the single-pass result.
+        Selection and merge run row-vectorized over the whole batch
+        (:func:`topk_indices_rows` / :func:`topk_pairs_rows` — the same
+        kernels the batch-inference runtime shards over).
         """
         n_items = self.index.n_items
         block = self.item_block_size
         excludes = [
             self.index.excluded_items(int(user)) if exclude_train else None for user in users
         ]
-        cand_ids: List[List[np.ndarray]] = [[] for _ in users]
-        cand_scores: List[List[np.ndarray]] = [[] for _ in users]
+        block_ids: List[np.ndarray] = []
+        block_scores: List[np.ndarray] = []
 
         for start in range(0, n_items, block):
             stop = min(start + block, n_items)
@@ -188,23 +191,24 @@ class RetrievalEngine:
                 block_mask = np.where(mask[start:stop], 0.0, NEG_INF)
                 part = part + block_mask[None, :]
             for row in range(len(users)):
-                row_scores = part[row]
                 exclude = excludes[row]
                 if exclude is not None and len(exclude):
                     inside = exclude[(exclude >= start) & (exclude < stop)]
                     if len(inside):
-                        row_scores = row_scores.copy()
-                        row_scores[inside - start] = NEG_INF
-                top = topk_indices(row_scores, k)
-                cand_ids[row].append(top + start)
-                cand_scores[row].append(row_scores[top])
+                        part[row, inside - start] = NEG_INF
+            top = topk_indices_rows(part, min(k, stop - start))
+            block_ids.append(top + start)
+            block_scores.append(np.take_along_axis(part, top, axis=1))
+
+        ids = np.hstack(block_ids)
+        values = np.hstack(block_scores)
+        sel = topk_pairs_rows(ids, values, k)
+        merged_items = np.take_along_axis(ids, sel, axis=1)
+        merged_scores = np.take_along_axis(values, sel, axis=1)
 
         results = []
         for row in range(len(users)):
-            ids = np.concatenate(cand_ids[row])
-            values = np.concatenate(cand_scores[row])
-            sel = topk_pairs(ids, values, k)
-            items, scores = ids[sel], values[sel]
+            items, scores = merged_items[row], merged_scores[row]
             if drop_masked and (mask is not None or (excludes[row] is not None and len(excludes[row]))):
                 keep = scores > NEG_INF
                 items, scores = items[keep], scores[keep]

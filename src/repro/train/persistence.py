@@ -1,16 +1,26 @@
-"""Persistence of trained artifacts as ``.npz`` archives with JSON headers.
+"""Persistence of trained artifacts: ``.npz`` archives and array directories.
 
-Two artifact kinds share one on-disk format:
+Two artifact kinds share the on-disk formats:
 
 * **model checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
   — every named parameter of a :class:`~repro.core.base.Recommender`;
 * **serving indexes** (:mod:`repro.serving.index`) — frozen embedding
   branches exported for online retrieval.
 
-The format is a compressed ``.npz`` whose ``__metadata__`` entry is a JSON
-header (stored as a uint8 byte array).  :func:`write_archive` /
-:func:`read_archive_metadata` / :func:`read_archive_arrays` are the generic
-layer; the checkpoint functions below and the serving index build on them.
+Two interchangeable container formats exist:
+
+* **compressed ``.npz``** — a single file whose ``__metadata__`` entry is a
+  JSON header (stored as a uint8 byte array).  Compact, but loading always
+  decompresses every array into fresh memory.
+* **archive directory** — ``metadata.json`` plus one uncompressed ``.npy``
+  file per array (:func:`write_archive_dir`).  Loadable with
+  ``mmap=True``, in which case arrays are memory-mapped straight off disk:
+  multiple worker processes attaching to the same directory share the page
+  cache instead of each deserializing its own copy.
+
+:func:`read_archive_metadata` / :func:`read_archive_arrays` accept either
+format transparently (a path that is a directory is read as one); the
+checkpoint functions below and the serving index build on them.
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ import numpy as np
 from ..core.base import Recommender
 
 _METADATA_KEY = "__metadata__"
+_DIR_METADATA_FILENAME = "metadata.json"
+_NPY_SUFFIX = ".npy"
 
 #: header field naming the artifact kind; absent in archives written before
 #: the field existed, which are treated as checkpoints
@@ -50,8 +62,54 @@ def write_archive(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) -> s
     return path
 
 
+def write_archive_dir(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) -> str:
+    """Write an uncompressed archive directory: metadata.json + one .npy per array.
+
+    The per-array layout is what makes ``mmap`` loading possible — a zipped
+    ``.npz`` cannot be memory-mapped.  Array names map directly to
+    filenames, so they must not contain path separators.
+
+    Overwriting an existing archive is staged: the new generation is fully
+    written to a temporary sibling directory and swapped in, so readers
+    never see a silent mix of old and new arrays — an interrupted rewrite
+    leaves either the old archive or (in a narrow window) no archive, both
+    of which fail loudly rather than serving mixed-generation data.
+    """
+    for name in arrays:
+        if os.sep in name or (os.altsep and os.altsep in name) or name == _DIR_METADATA_FILENAME:
+            raise ValueError(f"array name {name!r} cannot be used as an archive filename")
+
+    def _fill(target: str) -> None:
+        os.makedirs(target, exist_ok=True)
+        with open(os.path.join(target, _DIR_METADATA_FILENAME), "w") as handle:
+            json.dump(metadata, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for name, value in arrays.items():
+            np.save(os.path.join(target, name + _NPY_SUFFIX), np.asarray(value))
+
+    if not os.path.isdir(path):
+        _fill(path)
+        return path
+
+    import shutil
+
+    staging = f"{path}.tmp-{os.getpid()}"
+    if os.path.isdir(staging):
+        shutil.rmtree(staging)
+    _fill(staging)
+    shutil.rmtree(path)
+    os.rename(staging, path)
+    return path
+
+
 def read_archive_metadata(path: str) -> Dict:
-    """Read only the JSON header of an archive."""
+    """Read only the JSON header of an archive (either container format)."""
+    if os.path.isdir(path):
+        header = os.path.join(path, _DIR_METADATA_FILENAME)
+        if not os.path.exists(header):
+            raise ValueError(f"{path} is not a repro archive directory (missing {_DIR_METADATA_FILENAME})")
+        with open(header) as handle:
+            return json.load(handle)
     with np.load(path) as archive:
         if _METADATA_KEY not in archive:
             raise ValueError(f"{path} is not a repro archive (missing metadata header)")
@@ -59,8 +117,23 @@ def read_archive_metadata(path: str) -> Dict:
     return json.loads(raw)
 
 
-def read_archive_arrays(path: str) -> Dict[str, np.ndarray]:
-    """Read every stored array (header excluded)."""
+def read_archive_arrays(path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
+    """Read every stored array (header excluded) from either container format.
+
+    ``mmap=True`` memory-maps the arrays of a directory archive (read-only
+    views backed by the OS page cache).  Compressed ``.npz`` archives cannot
+    be mapped; the flag is silently ignored for them and the arrays are read
+    into memory as before.
+    """
+    if os.path.isdir(path):
+        arrays: Dict[str, np.ndarray] = {}
+        for entry in sorted(os.listdir(path)):
+            if not entry.endswith(_NPY_SUFFIX):
+                continue
+            arrays[entry[: -len(_NPY_SUFFIX)]] = np.load(
+                os.path.join(path, entry), mmap_mode="r" if mmap else None
+            )
+        return arrays
     with np.load(path) as archive:
         return {name: archive[name] for name in archive.files if name != _METADATA_KEY}
 

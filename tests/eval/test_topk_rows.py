@@ -1,0 +1,116 @@
+"""Row-vectorized top-K kernels: bit-parity with the per-row references."""
+
+import numpy as np
+import pytest
+
+from repro.eval.topk import (
+    NEG_INF,
+    masked_topk,
+    topk_indices,
+    topk_indices_rows,
+    topk_pairs,
+    topk_pairs_rows,
+)
+
+
+class TestTopkIndicesRows:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_per_row_on_random_floats(self, seed):
+        rng = np.random.default_rng(seed)
+        rows, n = int(rng.integers(1, 12)), int(rng.integers(1, 150))
+        k = int(rng.integers(1, n + 4))
+        scores = rng.normal(size=(rows, n))
+        got = topk_indices_rows(scores, k)
+        for row in range(rows):
+            np.testing.assert_array_equal(got[row], topk_indices(scores[row], k))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_per_row_with_heavy_ties(self, seed):
+        # Quantized scores force many exact ties at the k-boundary, the case
+        # where argpartition's arbitrary choice must be repaired per row.
+        rng = np.random.default_rng(100 + seed)
+        rows, n = int(rng.integers(1, 10)), int(rng.integers(2, 80))
+        k = int(rng.integers(1, n))
+        scores = rng.integers(0, 3, size=(rows, n)).astype(np.float64)
+        got = topk_indices_rows(scores, k)
+        for row in range(rows):
+            np.testing.assert_array_equal(got[row], topk_indices(scores[row], k))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_masked_rows_and_dtype(self, dtype):
+        rng = np.random.default_rng(5)
+        scores = rng.integers(0, 4, size=(6, 40)).astype(dtype)
+        scores[rng.random(scores.shape) < 0.4] = NEG_INF
+        got = topk_indices_rows(scores, 7)
+        for row in range(len(scores)):
+            np.testing.assert_array_equal(got[row], topk_indices(scores[row], 7))
+
+    def test_all_equal_rows_select_lowest_ids(self):
+        got = topk_indices_rows(np.zeros((3, 10)), 4)
+        np.testing.assert_array_equal(got, np.tile([0, 1, 2, 3], (3, 1)))
+
+    def test_k_clipped_and_empty(self):
+        got = topk_indices_rows(np.array([[3.0, 1.0, 2.0]]), 10)
+        np.testing.assert_array_equal(got, [[0, 2, 1]])
+        assert topk_indices_rows(np.empty((0, 5)), 3).shape == (0, 3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            topk_indices_rows(np.zeros((2, 3)), 0)
+        with pytest.raises(ValueError):
+            topk_indices_rows(np.zeros(3), 1)
+
+
+class TestTopkPairsRows:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_per_row(self, seed):
+        rng = np.random.default_rng(seed)
+        rows, length = int(rng.integers(1, 8)), int(rng.integers(1, 50))
+        k = int(rng.integers(1, length + 3))
+        ids = np.stack([rng.permutation(1000)[:length] for _ in range(rows)])
+        values = rng.integers(0, 3, size=(rows, length)).astype(np.float64)
+        got = topk_pairs_rows(ids, values, k)
+        for row in range(rows):
+            np.testing.assert_array_equal(got[row], topk_pairs(ids[row], values[row], k))
+
+    def test_ties_break_by_item_id_across_columns(self):
+        ids = np.array([[500, 3, 7, 100]])
+        values = np.array([[1.0, 1.0, 2.0, 1.0]])
+        sel = topk_pairs_rows(ids, values, 3)[0]
+        np.testing.assert_array_equal(ids[0][sel], [7, 3, 100])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            topk_pairs_rows(np.zeros((2, 3)), np.zeros((2, 4)), 1)
+        with pytest.raises(ValueError):
+            topk_pairs_rows(np.zeros(3), np.zeros(3), 1)
+
+
+class TestMaskedTopkDtype:
+    def test_float32_rows_are_not_upcast(self, monkeypatch):
+        seen = []
+        original = topk_indices
+
+        def spy(scores, k):
+            seen.append(scores.dtype)
+            return original(scores, k)
+
+        monkeypatch.setattr("repro.eval.topk.topk_indices", spy)
+        scores = np.random.default_rng(0).normal(size=30).astype(np.float32)
+        masked_topk(scores, 5, exclude_items=[1, 2], candidate_items=np.arange(25))
+        assert seen and all(dtype == np.float32 for dtype in seen)
+
+    def test_float32_ranking_equals_float64(self):
+        rng = np.random.default_rng(3)
+        scores = rng.integers(0, 5, size=80).astype(np.float32)
+        exclude = [4, 9, 11]
+        candidates = np.flatnonzero(rng.random(80) < 0.8)
+        got32 = masked_topk(scores, 10, exclude_items=exclude, candidate_items=candidates)
+        got64 = masked_topk(
+            scores.astype(np.float64), 10, exclude_items=exclude, candidate_items=candidates
+        )
+        np.testing.assert_array_equal(got32, got64)
+
+    def test_integer_scores_still_coerced_to_float(self):
+        got = masked_topk(np.array([3, 1, 2]), 2)
+        np.testing.assert_array_equal(got, [0, 2])

@@ -1,0 +1,330 @@
+"""Determinism of the parallel batch-inference runtime.
+
+The contract under test: worker counts, pool modes, and shard counts are
+execution knobs — rankings, scores, and metrics are bit-identical for every
+setting, and identical to the serial reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.core.base import Recommender, ScoreBranch
+from repro.data import SyntheticConfig, generate
+from repro.eval.ranking import evaluate, metrics_from_rankings, topk_rankings
+from repro.eval.topk import masked_topk
+from repro.profiling import Profiler
+from repro.runtime import BatchRuntime, RuntimeConfig, ShardedIndex, recommend_all
+from repro.runtime.sharded import shard_ranges
+from repro.serving import RetrievalEngine, export_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=60, n_items=110, n_categories=4, n_price_levels=4,
+        interactions_per_user=9, seed=13,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=10, category_dim=6, rng=np.random.default_rng(4))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, model, index
+
+
+class TestWorkerInvariance:
+    def test_rankings_bit_identical_across_workers_and_modes(self, setup):
+        dataset, model, _ = setup
+        users = sorted(dataset.split_positive_sets("test"))
+        reference = topk_rankings(model, dataset, users, k=20)
+        for kwargs in (
+            {"workers": 1},
+            {"workers": 3, "mode": "thread"},
+            {"workers": 4, "mode": "process"},
+            {"workers": 2, "mode": "auto"},
+        ):
+            got = topk_rankings(model, dataset, users, k=20, **kwargs)
+            assert got.keys() == reference.keys()
+            for user in reference:
+                np.testing.assert_array_equal(got[user], reference[user])
+
+    def test_metrics_bit_identical_across_workers(self, setup):
+        dataset, model, _ = setup
+        reference = evaluate(model, dataset, ks=(5, 20))
+        for kwargs in ({"workers": 4, "mode": "process"}, {"workers": 2, "mode": "thread"}):
+            assert evaluate(model, dataset, ks=(5, 20), **kwargs) == reference
+
+    def test_chunk_size_does_not_change_results(self, setup):
+        dataset, model, _ = setup
+        users = sorted(dataset.split_positive_sets("test"))
+        reference = topk_rankings(model, dataset, users, k=10)
+        for chunk in (1, 7, 1000):
+            got = topk_rankings(model, dataset, users, k=10, user_chunk=chunk, workers=2)
+            for user in reference:
+                np.testing.assert_array_equal(got[user], reference[user])
+
+
+class TestSharding:
+    def test_shard_ranges_cover_catalog(self):
+        for n_items, n_shards in ((10, 3), (7, 7), (5, 9), (100, 1)):
+            ranges = shard_ranges(n_items, n_shards)
+            assert ranges[0][0] == 0 and ranges[-1][1] == n_items
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+            assert all(stop > start for start, stop in ranges)
+
+    def test_sharded_equals_unsharded(self, setup):
+        dataset, model, _ = setup
+        users = sorted(dataset.split_positive_sets("test"))
+        reference = topk_rankings(model, dataset, users, k=25)
+        for shards in (2, 3, 8, 110):
+            got = topk_rankings(model, dataset, users, k=25, shards=shards)
+            for user in reference:
+                np.testing.assert_array_equal(got[user], reference[user])
+
+    def test_sharded_metrics_and_workers_compose(self, setup):
+        dataset, model, _ = setup
+        reference = evaluate(model, dataset, ks=(10,))
+        assert evaluate(model, dataset, ks=(10,), shards=5, workers=3, mode="thread") == reference
+        assert evaluate(model, dataset, ks=(10,), shards=4, workers=2, mode="process") == reference
+
+    def test_tie_breaking_across_shard_boundaries(self):
+        # Integer-valued factors make exact score ties that straddle shard
+        # boundaries; selection must break them by ascending item id exactly
+        # as a stable argsort of the full row would.
+        values = np.array([3.0, 1.0, 3.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 0.0])
+        branch = ScoreBranch(user=np.ones((4, 1)), item=values[:, None])
+        for n_shards in (1, 2, 3, 5, 10):
+            sharded = ShardedIndex([branch], n_shards=n_shards)
+            ids, scores = sharded.topk_chunk(np.arange(4), 6, with_scores=True)
+            expected = np.argsort(-values, kind="stable")[:6]
+            for row in range(4):
+                np.testing.assert_array_equal(ids[row], expected)
+                np.testing.assert_array_equal(scores[row], values[expected])
+
+    def test_tied_scores_with_exclusions_across_shards(self):
+        values = np.tile(np.array([2.0, 1.0]), 8)  # 16 items, ties everywhere
+        branch = ScoreBranch(user=np.ones((2, 1)), item=values[:, None])
+        indptr = np.array([0, 3, 4])
+        indices = np.array([0, 2, 14, 1])  # user 0 excludes three tied items
+        reference = ShardedIndex([branch], 1).topk_chunk(
+            np.arange(2), 5, exclude_csr=(indptr, indices)
+        )[0]
+        for n_shards in (2, 4, 7):
+            got = ShardedIndex([branch], n_shards).topk_chunk(
+                np.arange(2), 5, exclude_csr=(indptr, indices)
+            )[0]
+            np.testing.assert_array_equal(got, reference)
+
+
+class TestFloat32Memory:
+    def test_float32_branches_never_score_in_float64(self, setup, monkeypatch):
+        dataset, model, _ = setup
+        from repro.nn import precision
+        from repro.runtime import sharded as sharded_module
+
+        with precision("float32"):
+            model32 = pup_full(
+                dataset, global_dim=10, category_dim=6, rng=np.random.default_rng(4)
+            )
+        model32.eval()
+        assert model32.export_embeddings()[0].user.dtype == np.float32
+
+        seen = []
+        original = sharded_module.score_branches
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            seen.append(result.dtype)
+            return result
+
+        monkeypatch.setattr(sharded_module, "score_branches", spy)
+        users = sorted(dataset.split_positive_sets("test"))
+        rankings = topk_rankings(model32, dataset, users, k=15)
+        assert seen and all(dtype == np.float32 for dtype in seen)
+        # and the float32 rankings match the float64 model's (same weights,
+        # lossless comparison order)
+        reference = topk_rankings(model32, dataset, users, k=15, shards=3)
+        for user in rankings:
+            np.testing.assert_array_equal(rankings[user], reference[user])
+
+    def test_recommend_all_scores_stay_in_index_dtype(self, setup):
+        dataset, _, _ = setup
+        from repro.nn import precision
+
+        with precision("float32"):
+            model32 = pup_full(
+                dataset, global_dim=10, category_dim=6, rng=np.random.default_rng(4)
+            )
+        model32.eval()
+        index32 = export_index(model32, dataset)
+        recommendations = recommend_all(index32, k=5)
+        assert recommendations.scores.dtype == np.float32
+
+
+class TestCandidatePools:
+    def test_candidate_items_match_reference_kernel_under_workers(self, setup):
+        dataset, model, _ = setup
+        rng = np.random.default_rng(9)
+        users = sorted(dataset.split_positive_sets("test"))[:20]
+        candidates = {
+            # every user present; explicit None = unrestricted pool
+            user: (
+                np.sort(rng.permutation(dataset.n_items)[: int(rng.integers(3, 30))])
+                if position % 2 == 0
+                else None
+            )
+            for position, user in enumerate(users)
+        }
+        reference = topk_rankings(model, dataset, users, k=8, candidate_items=candidates)
+        # reference semantics per user, via masked_topk on the live scores
+        branches = model.export_embeddings()
+        from repro.core.base import score_branches
+
+        scores = score_branches(branches, np.asarray(users))
+        train_pos = dataset.train_positive_sets()
+        for row, user in enumerate(users):
+            exclude = sorted(train_pos.get(user, ()))
+            expected = masked_topk(
+                np.asarray(scores[row], dtype=np.float64),
+                8,
+                exclude_items=exclude or None,
+                candidate_items=candidates.get(user),
+            )
+            np.testing.assert_array_equal(reference[user], expected)
+        for kwargs in ({"workers": 3, "mode": "process"}, {"shards": 4}):
+            got = topk_rankings(model, dataset, users, k=8, candidate_items=candidates, **kwargs)
+            for user in users:
+                np.testing.assert_array_equal(got[user], reference[user])
+
+    def test_missing_user_in_candidate_dict_is_a_key_error(self, setup):
+        dataset, model, _ = setup
+        users = sorted(dataset.split_positive_sets("test"))[:5]
+        incomplete = {users[0]: np.array([1, 2, 3])}  # other users absent
+        with pytest.raises(KeyError, match="missing evaluated users"):
+            topk_rankings(model, dataset, users, k=5, candidate_items=incomplete)
+
+
+class TestRestrictedPoolScores:
+    def test_padding_past_candidate_pool_scores_neg_inf(self):
+        # k exceeds a restricted pool: padding ids must carry -inf (masked)
+        # scores, matching the unrestricted paths' contract, never the raw
+        # model score of an out-of-pool item.
+        branch = ScoreBranch(user=np.ones((1, 1)), item=np.arange(5.0)[:, None])
+        with BatchRuntime([branch], RuntimeConfig()) as runtime:
+            _, ids, scores = runtime.rank(
+                [0], 3, with_scores=True, candidate_items={0: np.array([2])}
+            )
+        assert ids[0][0] == 2 and scores[0][0] == 2.0
+        assert np.all(np.isneginf(scores[0][1:]))
+
+
+class TestScorerFallback:
+    def test_non_factorizable_model_evaluates_serially(self, setup):
+        dataset, model, _ = setup
+
+        class OpaqueScorer(Recommender):
+            name = "opaque"
+
+            def __init__(self, dataset, inner):
+                super().__init__(dataset)
+                self._inner = inner
+
+            def predict_scores(self, users):
+                return self._inner.predict_scores(users)
+
+        opaque = OpaqueScorer(dataset, model)
+        users = sorted(dataset.split_positive_sets("test"))
+        reference = topk_rankings(model, dataset, users, k=12)
+        got = topk_rankings(opaque, dataset, users, k=12, workers=4)
+        for user in reference:
+            np.testing.assert_array_equal(got[user], reference[user])
+
+
+class TestRecommendAll:
+    def test_matches_retrieval_engine(self, setup):
+        dataset, _, index = setup
+        recommendations = recommend_all(index, k=7, workers=2, shards=3)
+        engine = RetrievalEngine(index)
+        results = engine.topk(recommendations.users, 7, drop_masked=False)
+        for row in range(len(recommendations.users)):
+            np.testing.assert_array_equal(results[row].items, recommendations.items[row])
+            np.testing.assert_array_equal(
+                np.asarray(results[row].scores, dtype=recommendations.scores.dtype),
+                recommendations.scores[row],
+            )
+
+    def test_padding_past_candidate_pool_is_sentineled(self):
+        # 6 items, user 0 has bought 4 of them: k=5 exceeds the unexcluded
+        # pool, and the overflow must surface as -1/-inf padding, never as
+        # already-bought item ids.
+        from repro.serving.index import EmbeddingIndex
+
+        branch = ScoreBranch(user=np.ones((2, 1)), item=np.arange(6.0)[:, None])
+        index = EmbeddingIndex(
+            branches=[branch],
+            item_categories=np.zeros(6, dtype=np.int64),
+            item_price_levels=np.zeros(6, dtype=np.int64),
+            n_price_levels=1,
+            n_categories=1,
+            exclude_indptr=np.array([0, 4, 5]),
+            exclude_indices=np.array([1, 2, 4, 5, 0]),
+            item_popularity=np.ones(6),
+        )
+        recommendations = recommend_all(index, k=5)
+        np.testing.assert_array_equal(recommendations.items[0], [3, 0, -1, -1, -1])
+        assert np.all(np.isneginf(recommendations.scores[0, 2:]))
+        # user 1 has a large enough pool: no sentinels
+        np.testing.assert_array_equal(recommendations.items[1], [5, 4, 3, 2, 1])
+
+    def test_default_population_is_warm_users(self, setup):
+        dataset, _, index = setup
+        recommendations = recommend_all(index, k=3)
+        warm = np.flatnonzero(np.diff(index.exclude_indptr) > 0)
+        np.testing.assert_array_equal(recommendations.users, warm)
+
+    def test_round_trips_through_disk(self, setup, tmp_path):
+        _, _, index = setup
+        recommendations = recommend_all(index, k=4, users=[0, 5, 9])
+        path = recommendations.save(str(tmp_path / "recs"))
+        loaded = type(recommendations).load(path)
+        np.testing.assert_array_equal(loaded.users, recommendations.users)
+        np.testing.assert_array_equal(loaded.items, recommendations.items)
+        np.testing.assert_array_equal(loaded.scores, recommendations.scores)
+        assert loaded.model_name == index.model_name
+        items, scores = loaded.for_user(5)
+        np.testing.assert_array_equal(items, recommendations.items[1])
+        with pytest.raises(KeyError):
+            loaded.for_user(123456)
+
+    def test_checkpoint_archives_are_rejected(self, setup, tmp_path):
+        dataset, model, _ = setup
+        from repro.runtime.engine import BulkRecommendations
+        from repro.train.persistence import save_checkpoint
+
+        path = save_checkpoint(model, str(tmp_path / "ckpt.npz"))
+        with pytest.raises(ValueError, match="not bulk recommendations"):
+            BulkRecommendations.load(path)
+
+
+class TestProfilerIntegration:
+    def test_eval_phases_recorded(self, setup):
+        dataset, model, _ = setup
+        profiler = Profiler()
+        evaluate(model, dataset, ks=(5,), shards=3, profiler=profiler)
+        for phase in ("score", "topk", "merge", "metrics"):
+            assert profiler.seconds(phase) > 0, phase
+        assert profiler.counter("evaluated_users") > 0
+        assert "users_per_sec" in profiler.summary()
+
+    def test_mmap_index_runtime_parity(self, setup, tmp_path):
+        dataset, _, index = setup
+        path = index.save(str(tmp_path / "index"), format="dir")
+        mapped = type(index).load(path, mmap=True)
+        config = RuntimeConfig(workers=2, mode="process", shards=2)
+        exclude = (mapped.exclude_indptr, mapped.exclude_indices)
+        with BatchRuntime(mapped, config, exclude_csr=exclude) as runtime:
+            _, ids, _ = runtime.rank(np.arange(20), 9)
+        with BatchRuntime(index, RuntimeConfig(), exclude_csr=(index.exclude_indptr, index.exclude_indices)) as runtime:
+            _, reference, _ = runtime.rank(np.arange(20), 9)
+        np.testing.assert_array_equal(ids, reference)

@@ -1,0 +1,63 @@
+"""WorkerPool: order preservation, mode resolution, graceful fallback."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import WorkerPool
+
+_STATE = {}
+
+
+def _init(value):
+    _STATE["value"] = value
+
+
+def _square(x):
+    return x * x
+
+
+class TestModes:
+    def test_zero_or_one_worker_resolves_serial(self):
+        for workers in (0, 1):
+            with WorkerPool(workers=workers, mode="auto") as pool:
+                assert pool.mode == "serial"
+                assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_thread_mode(self):
+        with WorkerPool(workers=3, mode="thread") as pool:
+            assert pool.mode == "thread"
+            assert pool.map(_square, range(20)) == [x * x for x in range(20)]
+
+    def test_process_mode_runs_initializer_in_workers(self):
+        with WorkerPool(workers=2, mode="process", initializer=_init, initargs=(7,)) as pool:
+            if pool.mode != "process":  # pragma: no cover - restricted sandbox
+                pytest.skip("process pools unavailable on this platform")
+            assert pool.map(_square, [4, 5]) == [16, 25]
+
+    def test_results_stay_in_payload_order(self):
+        # Uneven workloads must not reorder results.
+        def work(payload):
+            index, reps = payload
+            total = 0.0
+            for _ in range(reps):
+                total += np.sin(index)
+            return index
+
+        payloads = [(i, 2000 if i % 2 else 1) for i in range(30)]
+        with WorkerPool(workers=4, mode="thread") as pool:
+            assert pool.map(work, payloads) == list(range(30))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=-1)
+        with pytest.raises(ValueError):
+            WorkerPool(mode="gpu")
+
+    def test_serial_runs_local_initializer_when_asked(self):
+        _STATE.clear()
+        with WorkerPool(workers=0, initializer=_init, initargs=(3,), initialize_local=True):
+            assert _STATE == {"value": 3}
+
+    def test_map_accepts_generators(self):
+        with WorkerPool(workers=2, mode="thread") as pool:
+            assert pool.map(_square, (x for x in range(5))) == [0, 1, 4, 9, 16]
