@@ -4,7 +4,8 @@ For several catalog sizes this measures, with the same PUP architecture:
 
 * **live** — answering one user by running the model's own scoring path
   (graph propagation + dense decode), i.e. what serving without an export
-  step would cost (`eval.topk_rankings` per query);
+  step would cost (`eval.topk_rankings` per query); this is the in-run
+  baseline every speedup is normalized against;
 * **served (single)** — one request at a time through
   :class:`~repro.serving.service.RecommenderService` (cache disabled, so
   numbers are pure compute);
@@ -14,12 +15,27 @@ For several catalog sizes this measures, with the same PUP architecture:
 Reported: p50/p99 per-request latency, QPS, and the live/served speedup.
 Weights are untrained (timing does not depend on weight values).
 
-Run:  PYTHONPATH=src python benchmarks/bench_serving.py
+Besides the human-readable report (``benchmarks/results/bench_serving.txt``)
+the run writes the repo-root ``BENCH_serving.json``; CI re-measures the
+smallest catalog with ``--smoke`` and fails if the batched-serving speedup
+(a ratio of two in-run measurements, so runner speed cancels out) regresses
+more than 30% against the committed value.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full, rewrites
+                                                                # BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI gate
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
 import time
+from typing import Dict
 
 import numpy as np
 
@@ -28,6 +44,9 @@ from repro.core import pup_full
 from repro.data import SyntheticConfig, generate
 from repro.eval import topk_rankings
 from repro.serving import RecommenderService, export_index
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
 
 K = 50
 BATCH = 64
@@ -38,13 +57,18 @@ CATALOGS = (
     (1_600, 16_000, 10, 400),
 )
 
+#: CI gate: fail when the batched speedup drops below (1 - this) of committed
+REGRESSION_TOLERANCE = 0.30
+
 
 def percentiles(latencies: list) -> tuple:
     arr = np.asarray(latencies) * 1e3  # ms
     return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
 
 
-def bench_catalog(n_users: int, n_items: int, live_queries: int, served_queries: int, lines: list) -> None:
+def bench_catalog(
+    n_users: int, n_items: int, live_queries: int, served_queries: int, lines: list
+) -> Dict:
     dataset, _ = generate(
         SyntheticConfig(
             n_users=n_users, n_items=n_items, n_categories=8, n_price_levels=5,
@@ -111,18 +135,112 @@ def bench_catalog(n_users: int, n_items: int, live_queries: int, served_queries:
         f"{batch_qps:9.0f} QPS   ({speedup_batch:6.1f}x live)"
     )
     lines.append("")
+    return {
+        "n_users": n_users,
+        "n_items": n_items,
+        "live_queries": live_queries,
+        "served_queries": served_queries,
+        "export_ms": export_s * 1e3,
+        "index_mb": index.memory_bytes() / 1e6,
+        "live_p50_ms": live_p50,
+        "live_p99_ms": live_p99,
+        "single_p50_ms": single_p50,
+        "single_p99_ms": single_p99,
+        "single_qps": single_qps,
+        "batch_p50_ms": batch_p50,
+        "batch_p99_ms": batch_p99,
+        "batch_qps": batch_qps,
+        "speedup_single_vs_live": speedup_single,
+        "speedup_batch_vs_live": speedup_batch,
+    }
 
 
-def main() -> None:
+def cmd_full() -> int:
     lines = [
         "Serving benchmark: frozen-index retrieval vs live model scoring",
         f"top-{K} retrieval, train-item exclusion on, PUP 56/8, micro-batch {BATCH}",
         "",
     ]
+    catalogs = []
     for n_users, n_items, live_queries, served_queries in CATALOGS:
-        bench_catalog(n_users, n_items, live_queries, served_queries, lines)
+        catalogs.append(
+            bench_catalog(n_users, n_items, live_queries, served_queries, lines)
+        )
     write_report("bench_serving", "\n".join(lines))
+
+    smallest = catalogs[0]
+    payload = {
+        "benchmark": "serving_latency",
+        "protocol": {
+            "k": K, "micro_batch": BATCH, "cache": "disabled (pure compute)",
+            "baseline": "live model scoring, measured in-run",
+        },
+        "catalogs": catalogs,
+        "smoke_reference": {
+            "catalog": {key: smallest[key] for key in ("n_users", "n_items")},
+            "live_queries": smallest["live_queries"],
+            "served_queries": smallest["served_queries"],
+            "live_p50_ms": smallest["live_p50_ms"],
+            "batch_p50_ms": smallest["batch_p50_ms"],
+            "speedup_batch_vs_live": smallest["speedup_batch_vs_live"],
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+def cmd_smoke() -> int:
+    """CI check: re-measure the smallest catalog, compare to the committed file.
+
+    The gate is on the batched-serving speedup vs the in-run live baseline —
+    both sides re-measured on this machine, so absolute runner speed cancels
+    out; the check is a >30% regression against the committed speedup.
+    """
+    if not os.path.exists(BENCH_PATH):
+        print(f"missing committed baseline {BENCH_PATH}; run without --smoke first", file=sys.stderr)
+        return 2
+    with open(BENCH_PATH) as handle:
+        committed = json.load(handle)
+    reference = committed["smoke_reference"]
+    catalog = reference["catalog"]
+
+    lines: list = []
+    result = bench_catalog(
+        catalog["n_users"], catalog["n_items"],
+        reference["live_queries"], reference["served_queries"], lines,
+    )
+    print("\n".join(lines))
+
+    measured = result["speedup_batch_vs_live"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * reference["speedup_batch_vs_live"]
+    print(
+        f"batched serving: {measured:.1f}x live (committed "
+        f"{reference['speedup_batch_vs_live']:.1f}x; floor {floor:.1f}x)"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: batched-serving speedup regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%} against the committed BENCH_serving.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick regression check against the committed BENCH_serving.json",
+    )
+    args = parser.parse_args()
+    return cmd_smoke() if args.smoke else cmd_full()
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

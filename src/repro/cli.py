@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .data.registry import available_datasets
 from .experiments import PAPER_HPARAMS
-from .experiments.artifacts import INDEX_FILENAME, Experiment
+from .experiments.artifacts import ANN_FILENAME, INDEX_FILENAME, Experiment
 from .experiments.registry import (
     available_models,
     model_display_name,
@@ -222,6 +222,49 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             return 1
     elif args.check:
         raise SystemExit("--check needs stored metrics and default --ks/--split")
+
+    if args.ann_check:
+        # Runs its own exact ranking pass (via the frozen index) on top of
+        # the metrics pass above (via the live model): the recall gate must
+        # compare the ANN against the surface it approximates — the index —
+        # and reusing the protocol pass would couple the gate to eval ks /
+        # split internals for a diagnostic command that runs offline.
+        from .eval.ann import ann_recall_report
+
+        try:
+            ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+        except ExportError as error:
+            print(f"--ann-check needs a servable index: {error}", file=sys.stderr)
+            return 1
+        eval_users = sorted(
+            experiment.dataset.split_positive_sets(args.split or experiment.spec.eval.split)
+        )
+        report = ann_recall_report(
+            experiment.index, ann, eval_users, k=args.ann_k, scorers=ann.scorers,
+            nprobes=None if args.ann_nprobe is None else (args.ann_nprobe,),
+        )
+        failed = False
+        for label, arm in report["arms"].items():
+            recall = arm["recall_at_k"]
+            # the exact-fine default operating point is the gated one; the
+            # int8 arm is informational (its recall ceiling is quantization)
+            gated = arm["scorer"] == "exact"
+            status = ""
+            if gated and recall < args.ann_recall_floor:
+                status = f"  FAIL (< {args.ann_recall_floor})"
+                failed = True
+            print(
+                f"ann {label} (lists={ann.n_lists}): "
+                f"recall@{report['k']}={recall:.4f} vs exact over "
+                f"{report['evaluated_users']} users{status}"
+            )
+        if failed:
+            print(
+                f"FAIL: ANN recall@{report['k']} below the "
+                f"{args.ann_recall_floor} floor (--ann-check)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -244,6 +287,20 @@ def cmd_export(args: argparse.Namespace) -> int:
         f"{index.n_items} items, {len(index.branches)} branches, "
         f"{index.memory_bytes() / 1e3:.0f} kB -> {path}"
     )
+    if args.ann:
+        from .serving.ann import build_ivf
+
+        ann = build_ivf(index, n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+        ann_path = ann.save(os.path.join(args.artifacts, ANN_FILENAME))
+        quantized_note = (
+            f", int8 codes {ann.quantized.memory_bytes() / 1e3:.0f} kB"
+            if ann.quantized is not None
+            else ""
+        )
+        print(
+            f"exported ANN index: {ann.n_lists} lists, default nprobe "
+            f"{ann.nprobe}{quantized_note} -> {ann_path}"
+        )
     return 0
 
 
@@ -259,6 +316,9 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         print(f"cannot build recommendations for this artifact: {error}", file=sys.stderr)
         return 1
     users = [int(u) for u in args.users.split(",")] if args.users else None
+    ann = None
+    if args.ann:
+        ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
     start = time.perf_counter()
     recommendations = recommend_all(
         index,
@@ -266,6 +326,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         users=users,
         workers=args.workers,
         shards=args.shards,
+        ann=ann,
     )
     wall = time.perf_counter() - start
     out = args.out or os.path.join(args.artifacts, "recommendations.npz")
@@ -274,9 +335,10 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     rate = n / wall if wall > 0 else 0.0
     workers_note = f", {args.workers} workers requested" if args.workers else ""
     shards_note = f", {args.shards} shards" if args.shards > 1 else ""
+    ann_note = f", ann nprobe {ann.nprobe}/{ann.n_lists}" if ann is not None else ""
     print(
         f"exported top-{recommendations.k} for {n} users in {wall:.2f}s "
-        f"({rate:,.0f} users/s{workers_note}{shards_note}) -> {path}"
+        f"({rate:,.0f} users/s{workers_note}{shards_note}{ann_note}) -> {path}"
     )
     return 0
 
@@ -284,7 +346,14 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     experiment = Experiment.load(args.artifacts)
     try:
-        service = experiment.service(default_k=args.k)
+        ann = None
+        if args.ann:
+            ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+            print(
+                f"approximate retrieval: {ann.n_lists} lists, nprobe {ann.nprobe} "
+                "(filters and exclusions apply at re-rank)"
+            )
+        service = experiment.service(default_k=args.k, ann=ann)
     except ExportError as error:
         print(f"cannot serve this artifact: {error}", file=sys.stderr)
         return 1
@@ -343,6 +412,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_ann_build_flags(parser: argparse.ArgumentParser) -> None:
+    """ANN construction knobs shared by export/serve/recommend/evaluate."""
+    parser.add_argument(
+        "--ann-lists", type=int, default=None,
+        help="IVF list count (default: ~sqrt(n_items)/2)",
+    )
+    parser.add_argument(
+        "--ann-nprobe", type=int, default=None,
+        help="default lists probed per query (default: 1/8 of the lists)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -407,6 +488,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless stored metrics.json is reproduced to 1e-12 "
         "(CI guardrail for the parallel == serial determinism contract)",
     )
+    evaluate.add_argument(
+        "--ann-check", action="store_true",
+        help="measure ANN recall vs exact rankings over the eval users; exit "
+        "non-zero if the exact-fine arm falls below --ann-recall-floor",
+    )
+    evaluate.add_argument("--ann-k", type=int, default=50, help="recall cutoff (default 50)")
+    evaluate.add_argument(
+        "--ann-recall-floor", type=float, default=0.95,
+        help="minimum acceptable recall@K for --ann-check (default 0.95)",
+    )
+    _add_ann_build_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     export = commands.add_parser("export", help="rebuild the serving index")
@@ -419,6 +511,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="container: compressed .npz (default) or an uncompressed per-array "
         "directory that loads with mmap (what parallel workers attach to)",
     )
+    export.add_argument(
+        "--ann", action="store_true",
+        help="also build and save the approximate-retrieval index "
+        "(IVF lists + int8 codes) next to the embedding index",
+    )
+    _add_ann_build_flags(export)
     export.set_defaults(func=cmd_export)
 
     recommend = commands.add_parser(
@@ -435,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers (0 = serial; results are identical)",
     )
     recommend.add_argument("--shards", type=int, default=1, help="item-range shards")
+    recommend.add_argument(
+        "--ann", action="store_true",
+        help="candidate-generation mode: rank through the saved/built ANN "
+        "index instead of exact full-catalog scoring",
+    )
+    _add_ann_build_flags(recommend)
     recommend.set_defaults(func=cmd_recommend)
 
     serve = commands.add_parser("serve", help="answer queries from an artifact dir")
@@ -447,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a sample of warm users plus one cold id, then exit; "
         "overrides --users (also the default when --users is omitted)",
     )
+    serve.add_argument(
+        "--ann", action="store_true",
+        help="serve through approximate retrieval (saved ann.npz if present, "
+        "else built with defaults); filters apply at re-rank",
+    )
+    _add_ann_build_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     compare = commands.add_parser("compare", help="train several models, print a table")

@@ -3,6 +3,7 @@
 from .metrics import mean_metric, ndcg_at_k, recall_at_k
 from .topk import masked_topk, topk_indices, topk_pairs
 from .ranking import evaluate, metrics_from_rankings, topk_rankings
+from .ann import ann_recall_at_k, ann_recall_report
 from .protocols import ColdStartTask, build_cold_start_task, evaluate_cold_start
 from .groups import consistency_groups, evaluate_user_groups
 from .extended_metrics import (
@@ -21,6 +22,8 @@ __all__ = [
     "mean_metric",
     "ndcg_at_k",
     "recall_at_k",
+    "ann_recall_at_k",
+    "ann_recall_report",
     "evaluate",
     "metrics_from_rankings",
     "topk_rankings",

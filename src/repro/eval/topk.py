@@ -51,6 +51,27 @@ def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
     return chosen[np.argsort(-scores[chosen], kind="stable")]
 
 
+def partition_topk_rows(scores: np.ndarray, k: int):
+    """Row-wise argpartition top-``k`` plus boundary-tie diagnostics.
+
+    Returns ``(part, part_scores, ambiguous_rows)`` where ``part`` is the
+    ``(rows, k)`` index set of each row's ``k`` largest scores (arbitrary
+    order, arbitrary choice among ties at the k-th score) and
+    ``ambiguous_rows`` lists the rows where that choice *was* arbitrary —
+    more entries tied at the threshold than open slots.  Every
+    deterministic selection kernel in this repo (:func:`topk_indices_rows`,
+    the :func:`topk_pairs_rows` fast path, the IVF fine stage) partitions
+    through here and then repairs exactly the ambiguous rows, so the
+    ties-resolve-to-lowest-ids contract lives in one place.
+    """
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    threshold = part_scores.min(axis=1)
+    n_above = (part_scores > threshold[:, None]).sum(axis=1)
+    n_tied = (scores == threshold[:, None]).sum(axis=1)
+    return part, part_scores, np.flatnonzero(n_tied > k - n_above)
+
+
 def topk_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
     """Row-wise :func:`topk_indices`: one ``(rows, k)`` matrix per call.
 
@@ -73,9 +94,7 @@ def topk_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
     if k == n:
         return np.argsort(-scores, axis=1, kind="stable")
 
-    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-    part_scores = np.take_along_axis(scores, part, axis=1)
-    threshold = part_scores.min(axis=1)
+    part, _, ambiguous = partition_topk_rows(scores, k)
     # Selected ids in ascending order per row, then a stable sort on the
     # negated scores: ties at equal score keep ascending id — exactly the
     # (score desc, id asc) order topk_indices produces.
@@ -86,9 +105,7 @@ def topk_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
 
     # The partition's choice among boundary ties is arbitrary whenever more
     # entries tie at the threshold than there are slots left above it.
-    n_above = (part_scores > threshold[:, None]).sum(axis=1)
-    n_tied = (scores == threshold[:, None]).sum(axis=1)
-    for row in np.flatnonzero(n_tied > k - n_above):
+    for row in ambiguous:
         top[row] = topk_indices(scores[row], k)
     return top
 
@@ -112,10 +129,17 @@ def topk_pairs_rows(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndar
     """Row-wise :func:`topk_pairs` over ``(rows, L)`` candidate matrices.
 
     Bit-identical to ``topk_pairs`` applied per row (same lexicographic
-    (score desc, item id asc) order), vectorized as two stable row sorts:
-    first by item id, then by negated score — a stable sort of a sort is a
-    lexsort.  Used to merge per-shard candidates for a whole user chunk in
-    one call.
+    (score desc, item id asc) order).  Used to merge per-shard / per-probe
+    candidates for a whole user chunk in one call.
+
+    When ``k`` is much smaller than ``L`` (the ANN merge shape: a few
+    thousand probed candidates reduced to a top-50), selection first
+    narrows each row with :func:`numpy.argpartition` — O(L) instead of the
+    O(L log L) full sort — and only the surviving ``k`` columns are
+    ordered.  The partition's arbitrary choice among ties at the k-th
+    score is repaired through the per-row reference kernel, exactly as
+    :func:`topk_indices_rows` does, so the fast path cannot change a
+    result.
     """
     item_ids = np.asarray(item_ids)
     scores = np.asarray(scores)
@@ -125,11 +149,33 @@ def topk_pairs_rows(item_ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndar
         )
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    by_id = np.argsort(item_ids, axis=1, kind="stable")
-    scores_by_id = np.take_along_axis(scores, by_id, axis=1)
+    rows, length = scores.shape
+    k = min(k, length)
+    if rows == 0:
+        return np.empty((0, k), dtype=np.intp)
+
+    if k * 4 >= length:
+        # Narrow matrices: two stable row sorts (a stable sort of a sort
+        # is a lexsort) beat partition + repair bookkeeping.
+        by_id = np.argsort(item_ids, axis=1, kind="stable")
+        scores_by_id = np.take_along_axis(scores, by_id, axis=1)
+        by_score = np.argsort(-scores_by_id, axis=1, kind="stable")
+        order = np.take_along_axis(by_id, by_score, axis=1)
+        return order[:, :k]
+
+    part, part_scores, ambiguous = partition_topk_rows(scores, k)
+    part_ids = np.take_along_axis(item_ids, part, axis=1)
+    by_id = np.argsort(part_ids, axis=1, kind="stable")
+    scores_by_id = np.take_along_axis(part_scores, by_id, axis=1)
     by_score = np.argsort(-scores_by_id, axis=1, kind="stable")
-    order = np.take_along_axis(by_id, by_score, axis=1)
-    return order[:, : min(k, order.shape[1])]
+    order = np.take_along_axis(part, np.take_along_axis(by_id, by_score, axis=1), axis=1)
+
+    # Rows where more entries tie at the k-th score than there are slots
+    # left: the partition picked an arbitrary tied subset, the contract
+    # wants the lowest item ids among them.
+    for row in ambiguous:
+        order[row] = topk_pairs(item_ids[row], scores[row], k)
+    return order
 
 
 def masked_topk(

@@ -39,6 +39,7 @@ from .spec import ExperimentSpec
 SPEC_FILENAME = "spec.json"
 CHECKPOINT_FILENAME = "checkpoint.npz"
 INDEX_FILENAME = "index.npz"
+ANN_FILENAME = "ann.npz"
 METRICS_FILENAME = "metrics.json"
 LOSS_CURVE_FILENAME = "loss_curve.json"
 
@@ -106,6 +107,38 @@ class Experiment:
     def service(self, **kwargs) -> RecommenderService:
         """A ready :class:`RecommenderService` over this experiment's index."""
         return RecommenderService(self.index, **kwargs)
+
+    def ann_index(
+        self,
+        n_lists: Optional[int] = None,
+        nprobe: Optional[int] = None,
+        seed: int = 0,
+        quantize: bool = True,
+    ):
+        """The experiment's ANN index: saved structure if present, else built.
+
+        A saved ``ann.npz`` (written by ``repro export --ann``) is
+        re-attached to the experiment's embedding index; otherwise an
+        :class:`~repro.serving.ann.IVFIndex` is built fresh.  Explicit
+        arguments always win over the saved artifact: a requested
+        ``nprobe`` overrides the stored default operating point in place,
+        and a requested ``n_lists`` that differs from the saved layout
+        triggers a fresh build (the list count is baked into the k-means
+        partition; silently serving the old one would ignore the request).
+        """
+        from ..serving.ann import IVFIndex, build_ivf  # deferred: keeps import light
+
+        if self.artifacts_dir is not None:
+            path = os.path.join(self.artifacts_dir, ANN_FILENAME)
+            if os.path.exists(path):
+                saved = IVFIndex.load(path, self.index)
+                if n_lists is None or int(n_lists) == saved.n_lists:
+                    if nprobe is not None:
+                        saved.nprobe = max(1, min(int(nprobe), saved.n_lists))
+                    return saved
+        return build_ivf(
+            self.index, n_lists=n_lists, nprobe=nprobe, seed=seed, quantize=quantize
+        )
 
     def topk(
         self, users: Sequence[int], k: int = 10, exclude_train: bool = True,

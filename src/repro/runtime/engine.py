@@ -34,7 +34,10 @@ from .pool import WorkerPool
 from .sharded import ShardedIndex, _Buffers
 
 #: profiler phase names the runtime reports (mirrors the trainer's phases)
-EVAL_PHASES = ("score", "topk", "merge")
+EVAL_PHASES = ("score", "topk", "merge", "ann_search")
+
+#: sentinel for :meth:`BatchRuntime.refresh` arguments meaning "keep current"
+_KEEP = object()
 
 
 @dataclass
@@ -60,9 +63,11 @@ class _WorkerState:
         self,
         sharded: ShardedIndex,
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]],
+        ann=None,
     ) -> None:
         self.sharded = sharded
         self.exclude_csr = exclude_csr
+        self.ann = ann
         self._local = threading.local()
 
     def buffers(self) -> _Buffers:
@@ -88,7 +93,7 @@ def _build_state(spec: Dict) -> _WorkerState:
     else:
         branches = spec["branches"]
         exclude_csr = spec["exclude_csr"]
-    return _WorkerState(ShardedIndex(branches, spec["shards"]), exclude_csr)
+    return _WorkerState(ShardedIndex(branches, spec["shards"]), exclude_csr, spec.get("ann"))
 
 
 def _init_process_worker(spec: Dict) -> None:
@@ -106,6 +111,13 @@ def _rank_chunk_process(payload) -> Tuple[int, np.ndarray, Optional[np.ndarray],
 def _rank_chunk(state: _WorkerState, payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict]:
     chunk_id, users, k, with_scores, candidates = payload
     timings: Dict[str, float] = {}
+    if state.ann is not None:
+        import time
+
+        tick = time.perf_counter()
+        ids, scores = state.ann.search(users, k, exclude_csr=state.exclude_csr)
+        timings["ann_search"] = time.perf_counter() - tick
+        return chunk_id, ids, scores if with_scores else None, timings
     ids, scores = state.sharded.topk_chunk(
         users,
         k,
@@ -133,49 +145,110 @@ class BatchRuntime:
         source: Union["EmbeddingIndex", Sequence[ScoreBranch]],
         config: Optional[RuntimeConfig] = None,
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        ann=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         branches = list(getattr(source, "branches", source))
-        self._state = _WorkerState(ShardedIndex(branches, self.config.shards), exclude_csr)
+        self._state = _WorkerState(ShardedIndex(branches, self.config.shards), exclude_csr, ann)
         self.n_items = self._state.sharded.n_items
+        if ann is not None and ann.n_items != self.n_items:
+            raise ValueError(
+                f"ann index covers {ann.n_items} items but the factorization "
+                f"has {self.n_items}"
+            )
 
-        # Spec the process-pool workers rebuild their state from.  An index
-        # that knows its on-disk mmap location is shipped as a path (workers
-        # attach to the shared on-disk copy); everything else ships the
-        # arrays themselves — free under fork (inherited), a one-time copy
-        # under spawn.
+        self._pool = WorkerPool(
+            workers=self.config.workers,
+            mode=self.config.mode,
+            initializer=_init_process_worker,
+            initargs=(self._worker_spec(source, branches, exclude_csr, ann),),
+        )
+        self.mode = self._pool.mode
+
+    def _worker_spec(self, source, branches, exclude_csr, ann) -> Dict:
+        """Spec the process-pool workers rebuild their state from.
+
+        An index that knows its on-disk mmap location is shipped as a path
+        (workers attach to the shared on-disk copy); everything else ships
+        the arrays themselves — free under fork (inherited), a one-time
+        copy under spawn.  An ANN index always ships as arrays: it wraps
+        live objects a path cannot rebuild.
+        """
         index_path = getattr(source, "source_path", None)
         index_mmap = bool(getattr(source, "source_mmap", False))
         if index_path is not None and index_mmap and exclude_csr is not None:
             exclude_is_index_own = exclude_csr[0] is getattr(source, "exclude_indptr", None)
         else:
             exclude_is_index_own = False
-        if index_path is not None and index_mmap and (exclude_csr is None or exclude_is_index_own):
-            spec: Dict = {
+        if (
+            ann is None
+            and index_path is not None
+            and index_mmap
+            and (exclude_csr is None or exclude_is_index_own)
+        ):
+            return {
                 "index_path": index_path,
                 "index_mmap": True,
                 "exclude": exclude_csr is not None,
                 "shards": self.config.shards,
             }
-        else:
-            spec = {
-                "index_path": None,
-                "branches": branches,
-                "exclude_csr": exclude_csr,
-                "shards": self.config.shards,
-            }
-        self._pool = WorkerPool(
-            workers=self.config.workers,
-            mode=self.config.mode,
-            initializer=_init_process_worker,
-            initargs=(spec,),
-        )
-        self.mode = self._pool.mode
+        return {
+            "index_path": None,
+            "branches": branches,
+            "exclude_csr": exclude_csr,
+            "shards": self.config.shards,
+            "ann": ann,
+        }
+
+    def refresh(
+        self,
+        source: Union["EmbeddingIndex", Sequence[ScoreBranch]],
+        exclude_csr=_KEEP,
+        ann=_KEEP,
+    ) -> None:
+        """Point this runtime at updated factors without pool teardown.
+
+        The steady-state shape of a validation loop: the model's frozen
+        branches change every epoch, but the worker pool (and its startup
+        cost) should be paid once per fit, not once per evaluate.  Local
+        state is swapped in place; process-pool workers receive the new
+        spec through :meth:`WorkerPool.reinitialize` (one barrier
+        broadcast — under ``fork`` that re-pickles the branch arrays once
+        per worker, still far cheaper than re-forking a pool).
+
+        ``exclude_csr`` / ``ann`` default to keeping their current values.
+        The catalog size must not change — chunk results are merged by
+        item id, so a different catalog needs a new runtime.
+        """
+        branches = list(getattr(source, "branches", source))
+        sharded = ShardedIndex(branches, self.config.shards)
+        if sharded.n_items != self.n_items:
+            raise ValueError(
+                f"refresh changed the catalog ({sharded.n_items} items vs "
+                f"{self.n_items}); build a new runtime instead"
+            )
+        if exclude_csr is _KEEP:
+            exclude_csr = self._state.exclude_csr
+        if ann is _KEEP:
+            ann = self._state.ann
+        if ann is not None and ann.n_items != self.n_items:
+            raise ValueError(
+                f"ann index covers {ann.n_items} items but the factorization "
+                f"has {self.n_items}"
+            )
+        self._state = _WorkerState(sharded, exclude_csr, ann)
+        if self._pool.mode == "process":
+            self._pool.reinitialize(self._worker_spec(source, branches, exclude_csr, ann))
 
     @property
     def has_exclusions(self) -> bool:
         """Whether this runtime was built with a per-user exclusion mask."""
         return self._state.exclude_csr is not None
+
+    @property
+    def ann(self):
+        """The ANN index chunks rank through (None = exact ranking)."""
+        return self._state.ann
 
     # ------------------------------------------------------------------
     def rank(
@@ -200,6 +273,12 @@ class BatchRuntime:
         k = min(int(k), self.n_items)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if candidate_items is not None and self._state.ann is not None:
+            raise ValueError(
+                "per-user candidate pools and ANN candidate generation are "
+                "mutually exclusive; rank restricted users through an exact "
+                "runtime (the pools already prune the catalog)"
+            )
         if len(users) == 0:
             empty = np.empty((0, k), dtype=np.int64)
             return users, empty, (np.empty((0, k)) if with_scores else None)
@@ -314,6 +393,7 @@ def recommend_all(
     shards: int = 1,
     user_chunk: int = 1024,
     profiler=None,
+    ann=None,
 ) -> BulkRecommendations:
     """Bulk top-``k`` export for every warm user (or an explicit user list).
 
@@ -323,13 +403,21 @@ def recommend_all(
     ready to push to a key-value store.  Results are bit-identical for any
     ``workers`` / ``mode`` / ``shards`` setting, and identical to the
     retrieval engine's unfiltered rankings for the same users.
+
+    ``ann`` switches the bulk job to candidate-generation mode: chunks rank
+    through the given :class:`~repro.serving.ann.IVFIndex` /
+    :class:`~repro.serving.ann.QuantizedIndex` instead of exact full-catalog
+    scoring — sublinear in catalog size at the index's measured recall
+    (``BENCH_ann.json``); at full probe the exported *rankings* are
+    bit-identical to the exact ones (scores carry the 1-ULP caveat for
+    differing matmul shapes that :mod:`repro.serving.retrieval` documents).
     """
     if users is None:
         counts = np.diff(index.exclude_indptr)
         users = np.flatnonzero(counts > 0)
     config = RuntimeConfig(workers=workers, mode=mode, shards=shards, user_chunk=user_chunk)
     exclude_csr = (index.exclude_indptr, index.exclude_indices) if exclude_train else None
-    with BatchRuntime(index, config, exclude_csr=exclude_csr) as runtime:
+    with BatchRuntime(index, config, exclude_csr=exclude_csr, ann=ann) as runtime:
         ordered, ids, scores = runtime.rank(users, k, with_scores=True, profiler=profiler)
     # A -inf score means the selection ran past the user's unexcluded pool
     # and padded with masked entries; exporting those ids would recommend

@@ -34,6 +34,39 @@ def _fork_context():
         return multiprocessing.get_context()
 
 
+#: per-process rendezvous barrier, inherited by pool workers at creation;
+#: lets :meth:`WorkerPool.reinitialize` broadcast to every worker exactly once
+_WORKER_BARRIER = None
+
+
+def _bootstrap_worker(barrier, initializer, initargs_holder) -> None:
+    """Process-pool initializer wrapper: stash the barrier, run the user's.
+
+    ``initargs_holder`` is a one-element list read at bootstrap time, so a
+    worker the pool respawns after :meth:`WorkerPool.reinitialize` picks up
+    the *current* arguments, not the ones captured at pool creation.
+    """
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    if initializer is not None:
+        initializer(*initargs_holder[0])
+
+
+def _reinitialize_worker(payload) -> bool:
+    """One broadcast task: rendezvous, then re-run the initializer.
+
+    The barrier makes the broadcast exact: with ``workers`` of these tasks
+    in flight and every one blocking until all ``workers`` processes have
+    picked one up, no worker can take two — so each runs the initializer
+    exactly once.  A 60s timeout turns a dead worker into a loud
+    ``BrokenBarrierError`` instead of a silent hang.
+    """
+    initializer, initargs = payload
+    _WORKER_BARRIER.wait(timeout=60)
+    initializer(*initargs)
+    return True
+
+
 class WorkerPool:
     """Maps payloads over ``workers`` workers, preserving payload order.
 
@@ -61,8 +94,9 @@ class WorkerPool:
         self.requested_mode = mode
         self._pool = None
         self._executor = None
+        self._barrier = None
         self._initializer = initializer
-        self._initargs = tuple(initargs)
+        self._initargs_holder = [tuple(initargs)]
         self._initialize_local = initialize_local
         self.mode = self._resolve(mode)
 
@@ -74,10 +108,11 @@ class WorkerPool:
         if mode in ("auto", "process"):
             try:
                 context = _fork_context()
+                self._barrier = context.Barrier(self.workers)
                 self._pool = context.Pool(
                     processes=self.workers,
-                    initializer=self._initializer,
-                    initargs=self._initargs,
+                    initializer=_bootstrap_worker,
+                    initargs=(self._barrier, self._initializer, self._initargs_holder),
                 )
                 return "process"
             except Exception as error:  # pragma: no cover - platform dependent
@@ -100,7 +135,28 @@ class WorkerPool:
 
     def _init_local(self) -> None:
         if self._initializer is not None and self._initialize_local:
-            self._initializer(*self._initargs)
+            self._initializer(*self._initargs_holder[0])
+
+    # ------------------------------------------------------------------
+    def reinitialize(self, *initargs) -> None:
+        """Re-run the initializer with new arguments on every worker.
+
+        This is what lets a long-lived pool track state that changes
+        between uses (a trainer's refreshed validation branches) without
+        paying pool teardown + startup each time.  For a process pool the
+        new arguments are broadcast through a barrier rendezvous — each
+        worker runs the initializer exactly once (see
+        :func:`_reinitialize_worker`); thread/serial modes share the
+        caller's memory, so only a local ``initialize_local`` rerun is
+        needed.  The new arguments also replace the stored ``initargs``,
+        so workers (re)created later initialize consistently.
+        """
+        self._initargs_holder[0] = tuple(initargs)
+        if self.mode == "process":
+            payloads = [(self._initializer, self._initargs_holder[0])] * self.workers
+            self._pool.map(_reinitialize_worker, payloads, chunksize=1)
+        else:
+            self._init_local()
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable, payloads: Iterable) -> List:

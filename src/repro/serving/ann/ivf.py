@@ -1,0 +1,494 @@
+"""IVF two-stage approximate retrieval over a frozen factorization.
+
+The catalog is partitioned by a pure-NumPy k-means (:mod:`.kmeans`) over
+the items' *combined* score vectors — the per-branch factors concatenated,
+plus one column carrying the weighted item constants — so that a query
+vector built the same way satisfies ``q . x == exact score - user-constant
+terms``.  User-constant terms are per-user offsets that cannot change a
+ranking, which makes the coarse stage a faithful inner-product geometry
+for PUP's multi-branch layout, not a heuristic on one branch.
+
+Search is two-stage:
+
+1. **coarse** — one ``(batch, D) @ (D, n_lists)`` matmul against the
+   centroids; each user probes its top-``nprobe`` lists;
+2. **fine** — the probed lists' items are scored *exactly* in the index
+   dtype.  Item factors are stored contiguously per list (a permuted copy
+   of each branch's factor matrix), so the fine stage is a
+   :func:`~repro.core.base.score_branches` call per (list, probing-users)
+   group — THE scoring kernel, no gathers on the request path — and the
+   per-user candidate pools merge through
+   :func:`~repro.eval.topk.topk_pairs_rows`, the same deterministic
+   (score desc, item id asc) order every exact path uses.
+
+Because stage 2 is exact and the lists partition the catalog, probing all
+lists (``nprobe >= n_lists``) makes the candidate pool the full catalog
+and the result bit-identical to exact search — the property the test
+suite pins (the usual 1-ULP caveat for degenerate matmul shapes noted in
+:mod:`repro.serving.retrieval` applies here too).  Smaller ``nprobe``
+trades recall for time along a measured curve (``BENCH_ann.json``).
+
+An optional :class:`~.quantize.QuantizedIndex` companion supplies an
+``int8`` fine-stage scorer (integer-accumulated, approximate) next to the
+default exact one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.base import ScoreBranch, branches_dtype, score_branches
+from ...data.dataset import expand_csr_rows
+from ...eval.topk import NEG_INF, partition_topk_rows, topk_pairs_rows
+from ...train import persistence
+from .kmeans import kmeans
+from .quantize import QuantizedBranch, QuantizedIndex, score_quantized_block
+
+IVF_KIND = "ivf_index"
+
+#: bump when the array layout changes incompatibly
+FORMAT_VERSION = 1
+
+SCORERS = ("exact", "int8")
+
+
+def default_n_lists(n_items: int) -> int:
+    """Default list count: ~sqrt(n)/2 — fewer, larger lists than the
+    classic 4-sqrt(n) heuristic, because on this numpy substrate each
+    probed list costs a Python-level dispatch and the fine stage is BLAS
+    (dense-friendly), so compute density per list wins over finer pruning
+    (measured in BENCH_ann.json)."""
+    return max(1, min(int(n_items), int(round(math.sqrt(max(n_items, 1)) / 2.0))))
+
+
+def default_nprobe(n_lists: int) -> int:
+    """Default operating point: probe 1/8 of the lists (min 1)."""
+    return max(1, int(math.ceil(n_lists / 8)))
+
+
+def _local_topk_set(scores: np.ndarray, k: int) -> np.ndarray:
+    """The row-wise top-``k`` *set* under (score desc, index asc) — unordered.
+
+    The fine stage only needs set membership per probed list (the global
+    merge re-sorts everything), so this skips the per-row ordering that
+    :func:`~repro.eval.topk.topk_indices_rows` pays for.  Ties at the
+    k-th score are still repaired to the lowest indices — through the
+    shared :func:`~repro.eval.topk.partition_topk_rows` diagnostics — which
+    is what keeps full-probe search bit-identical to exact selection.
+    """
+    part, part_scores, ambiguous = partition_topk_rows(scores, k)
+    for row in ambiguous:
+        threshold = part_scores[row].min()
+        above = np.flatnonzero(scores[row] > threshold)
+        tied = np.flatnonzero(scores[row] == threshold)
+        part[row] = np.concatenate([above, tied[: k - len(above)]])
+    return part
+
+
+def combined_item_vectors(branches: Sequence[ScoreBranch]) -> np.ndarray:
+    """``(n_items, D)`` vectors whose inner product with a combined query
+    reproduces the user-dependent part of the exact score (float64)."""
+    parts = [np.asarray(b.item, dtype=np.float64) for b in branches]
+    const: Optional[np.ndarray] = None
+    for branch in branches:
+        if branch.item_const is not None:
+            term = branch.weight * np.asarray(branch.item_const, dtype=np.float64)
+            const = term if const is None else const + term
+    if const is not None:
+        parts.append(const[:, None])
+    return np.hstack(parts)
+
+
+class IVFIndex:
+    """Cluster-pruned two-stage search over an :class:`EmbeddingIndex`.
+
+    Wraps the source index (user factors and catalog metadata are shared);
+    owns the coarse centroids, the list layout, and contiguous permuted
+    copies of the item-side arrays.  ``nprobe`` is the default operating
+    point; every :meth:`search` can override it per call.
+    """
+
+    def __init__(
+        self,
+        index,
+        centroids: np.ndarray,
+        list_indptr: np.ndarray,
+        list_items: np.ndarray,
+        nprobe: int,
+        quantized: Optional[QuantizedIndex] = None,
+        seed: int = 0,
+    ) -> None:
+        self.index = index
+        self.n_users = index.n_users
+        self.n_items = index.n_items
+        self.dtype = branches_dtype(index.branches)
+        self.seed = int(seed)
+
+        self.centroids = np.ascontiguousarray(centroids, dtype=np.float64)
+        self.list_indptr = np.asarray(list_indptr, dtype=np.int64)
+        self.n_lists = len(self.list_indptr) - 1
+        if self.centroids.shape[0] != self.n_lists:
+            raise ValueError("centroid count disagrees with the list layout")
+        #: permutation: global item id of each slot in list-contiguous order
+        self.list_items = np.asarray(list_items, dtype=np.int64)
+        if self.list_items.shape != (self.n_items,):
+            raise ValueError("list_items must be a permutation of the catalog")
+        self.nprobe = int(nprobe)
+        if not 1 <= self.nprobe <= self.n_lists:
+            raise ValueError(f"nprobe must be in [1, {self.n_lists}], got {nprobe}")
+
+        # Inverse layout maps: for any global item id, which list holds it
+        # and at which slot of the permuted storage — O(1) lookups that let
+        # exclusion masks scatter straight into the fine stage's scored
+        # blocks instead of key-searching every candidate.
+        self._item_position = np.empty(self.n_items, dtype=np.int64)
+        self._item_position[self.list_items] = np.arange(self.n_items)
+        self._item_list = np.empty(self.n_items, dtype=np.int64)
+        self._item_list[self.list_items] = np.repeat(
+            np.arange(self.n_lists), np.diff(self.list_indptr)
+        )
+
+        # Contiguous per-list item-side storage: the fine stage slices these
+        # instead of gathering scattered rows per request.
+        perm = self.list_items
+        self._perm_branches = [
+            ScoreBranch(
+                user=branch.user,
+                item=branch.item[perm],
+                item_const=None if branch.item_const is None else branch.item_const[perm],
+                user_const=branch.user_const,
+                weight=branch.weight,
+            )
+            for branch in index.branches
+        ]
+        self.quantized = quantized
+        if quantized is not None:
+            if quantized.n_items != self.n_items:
+                raise ValueError("quantized companion was built for a different catalog")
+            self._perm_codes = [qb.q_item[perm] for qb in quantized.quantized]
+        else:
+            self._perm_codes = None
+
+    # ------------------------------------------------------------------
+    @property
+    def scorers(self) -> Tuple[str, ...]:
+        """Fine-stage scorers this index supports."""
+        return SCORERS if self.quantized is not None else ("exact",)
+
+    def list_sizes(self) -> np.ndarray:
+        return np.diff(self.list_indptr)
+
+    def memory_bytes(self) -> int:
+        """Footprint of the IVF-owned arrays (permuted factors + centroids)."""
+        total = self.centroids.nbytes + self.list_indptr.nbytes + self.list_items.nbytes
+        for branch in self._perm_branches:
+            total += branch.item.nbytes
+            if branch.item_const is not None:
+                total += branch.item_const.nbytes
+        if self._perm_codes is not None:
+            total += sum(codes.nbytes for codes in self._perm_codes)
+        return total
+
+    # ------------------------------------------------------------------
+    def queries(self, users: np.ndarray) -> np.ndarray:
+        """Combined coarse-stage query vectors (float64, one row per user)."""
+        users = np.asarray(users, dtype=np.int64)
+        parts = [
+            branch.weight * np.asarray(branch.user[users], dtype=np.float64)
+            for branch in self.index.branches
+        ]
+        if self.centroids.shape[1] > sum(p.shape[1] for p in parts):
+            parts.append(np.ones((len(users), 1)))
+        return np.hstack(parts)
+
+    def probe(self, users: np.ndarray, nprobe: Optional[int] = None) -> np.ndarray:
+        """The ``(len(users), nprobe)`` list ids each user would search."""
+        nprobe = self._resolve_nprobe(nprobe)
+        coarse = self.queries(users) @ self.centroids.T
+        if nprobe >= self.n_lists:
+            return np.tile(np.arange(self.n_lists), (coarse.shape[0], 1))
+        return np.argpartition(-coarse, nprobe - 1, axis=1)[:, :nprobe]
+
+    def _resolve_nprobe(self, nprobe: Optional[int]) -> int:
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        return min(nprobe, self.n_lists)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        users: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+        scorer: str = "exact",
+        exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        candidate_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two-stage top-``k`` for a batch of users.
+
+        ``exclude_csr`` is the per-user train-positive mask as
+        ``(indptr, indices)``; ``candidate_mask`` a boolean ``(n_items,)``
+        filter mask.  Both apply at the re-rank stage: probed candidates
+        that are excluded or filtered are pushed to ``-inf`` *after* exact
+        scoring, so masking never changes which lists are probed (a
+        filtered request probes the same geometry as an unfiltered one).
+
+        Returns dense ``(len(users), k)`` ``(ids, scores)`` in the index
+        dtype; slots past a user's surviving candidate pool carry the
+        ``-1`` / ``-inf`` sentinel (same contract as the batch runtime).
+        """
+        if scorer not in SCORERS:
+            raise ValueError(f"scorer must be one of {SCORERS}, got {scorer!r}")
+        if scorer == "int8" and self.quantized is None:
+            raise ValueError(
+                "this IVF index was built without a quantized companion; "
+                "rebuild with quantize=True for int8 fine scoring"
+            )
+        users = np.asarray(users, dtype=np.int64)
+        k = min(int(k), self.n_items)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if len(users) == 0:
+            return np.empty((0, k), dtype=np.int64), np.empty((0, k), dtype=self.dtype)
+
+        probes = self.probe(users, nprobe)
+        n = len(users)
+
+        # Masks apply at the re-rank stage, per probed list, *before* the
+        # local selection — so a filtered request keeps the full fine
+        # ranking of its allowed pool (never crowded out by filtered
+        # items), while the probe geometry stays mask-independent.
+        mask_perm = (
+            None
+            if candidate_mask is None
+            else np.asarray(candidate_mask, dtype=bool)[self.list_items]
+        )
+        # Exclusion pairs, grouped by the list that holds the excluded item:
+        # each (user, item) exclusion can only surface in that one list, so
+        # the fine stage scatters exclusions per segment in O(1) per pair.
+        ex_by_list = None
+        if exclude_csr is not None:
+            ex_rows, ex_cols = expand_csr_rows(*exclude_csr, users)
+            if ex_rows is not None:
+                ex_lists = self._item_list[ex_cols]
+                group = np.argsort(ex_lists, kind="stable")
+                ex_by_list = (
+                    ex_lists[group],
+                    ex_rows[group],
+                    self._item_position[ex_cols[group]],
+                )
+        row_local = np.full(n, -1, dtype=np.int64)
+
+        # Each probed list contributes at most k survivors (its masked
+        # local top-k — selection is monotone under the (score desc, id
+        # asc) order, so a user's global top-k item is always inside its
+        # own list's local top-k, the ShardedIndex argument).  That bounds
+        # the merge pool at nprobe * k instead of the full probed width.
+        sizes = self.list_sizes()
+        pool_sizes = np.minimum(sizes, k)[probes].sum(axis=1)
+        width_max = int(pool_sizes.max())
+
+        # Padded per-user candidate pools.  The id sentinel is n_items (not
+        # -1) so topk_pairs_rows' (score desc, id asc) order puts padding
+        # after every real item; it converts to the public -1 at the end.
+        ids = np.full((n, width_max), self.n_items, dtype=np.int64)
+        scores = np.full((n, width_max), NEG_INF, dtype=self.dtype)
+        cursor = np.zeros(n, dtype=np.int64)
+
+        # Group (user, probed list) pairs by list: each probed list is
+        # scored once for all the users that probed it — one contiguous
+        # score_branches slice per group, vectorized across those users.
+        flat_rows = np.repeat(np.arange(n), probes.shape[1])
+        order = np.argsort(probes.ravel(), kind="stable")
+        sorted_lists = probes.ravel()[order]
+        sorted_rows = flat_rows[order]
+        starts = np.flatnonzero(np.r_[True, sorted_lists[1:] != sorted_lists[:-1]])
+        bounds = np.r_[starts, len(sorted_lists)]
+
+        for seg in range(len(starts)):
+            lo, hi = bounds[seg], bounds[seg + 1]
+            lst = int(sorted_lists[lo])
+            start, stop = int(self.list_indptr[lst]), int(self.list_indptr[lst + 1])
+            width = stop - start
+            if width == 0:
+                continue
+            rows = sorted_rows[lo:hi]
+            if scorer == "exact":
+                part = score_branches(self._perm_branches, users[rows], start, stop)
+            else:
+                part = score_quantized_block(
+                    self._perm_branches,
+                    self.quantized.quantized,
+                    [codes[start:stop] for codes in self._perm_codes],
+                    # item_const of a _perm_branch is already in permuted
+                    # order — slice it, never re-permute it
+                    [
+                        None if b.item_const is None else b.item_const[start:stop]
+                        for b in self._perm_branches
+                    ],
+                    users[rows],
+                    self.dtype,
+                )
+            seg_ids = self.list_items[start:stop]
+            if mask_perm is not None:
+                part[:, ~mask_perm[start:stop]] = NEG_INF
+            if ex_by_list is not None:
+                ex_lists, ex_users, ex_positions = ex_by_list
+                a, b = np.searchsorted(ex_lists, [lst, lst + 1])
+                if b > a:
+                    row_local[rows] = np.arange(len(rows))
+                    local = row_local[ex_users[a:b]]
+                    inside = local >= 0  # pairs whose user probed this list
+                    if inside.any():
+                        part[local[inside], ex_positions[a:b][inside] - start] = NEG_INF
+                    row_local[rows] = -1
+
+            if width > k:
+                local = _local_topk_set(part, k)
+                seg_out_ids = seg_ids[local]
+                seg_out_scores = np.take_along_axis(part, local, axis=1)
+                width = k
+            else:
+                seg_out_ids = np.broadcast_to(seg_ids[None, :], part.shape)
+                seg_out_scores = part
+            cols = cursor[rows][:, None] + np.arange(width)[None, :]
+            rix = rows[:, None]
+            ids[rix, cols] = seg_out_ids
+            scores[rix, cols] = seg_out_scores
+            cursor[rows] += width
+
+        sel = topk_pairs_rows(ids, scores, k)
+        top_ids = np.take_along_axis(ids, sel, axis=1)
+        top_scores = np.take_along_axis(scores, sel, axis=1)
+        top_ids = np.where(top_scores > NEG_INF, top_ids, -1)
+        if top_ids.shape[1] < k:  # pool smaller than k: pad to the dense contract
+            pad = k - top_ids.shape[1]
+            top_ids = np.hstack([top_ids, np.full((n, pad), -1, dtype=np.int64)])
+            top_scores = np.hstack(
+                [top_scores, np.full((n, pad), NEG_INF, dtype=self.dtype)]
+            )
+        return top_ids, top_scores
+
+    # ------------------------------------------------------------------
+    # Serialization (same archive layer as EmbeddingIndex / checkpoints)
+    # ------------------------------------------------------------------
+    def save(self, path: str, format: str = "npz") -> str:
+        """Persist the IVF structure (and int8 codes); the source index is
+        referenced by shape/name, not duplicated."""
+        if format not in ("npz", "dir"):
+            raise ValueError(f"format must be 'npz' or 'dir', got {format!r}")
+        arrays = {
+            "centroids": self.centroids,
+            "list_indptr": self.list_indptr,
+            "list_items": self.list_items,
+        }
+        quantized_meta: Optional[List] = None
+        if self.quantized is not None:
+            quantized_meta = self.quantized.quantization_params()
+            for i, qb in enumerate(self.quantized.quantized):
+                arrays[f"branch{i}.q_item"] = qb.q_item
+        metadata = {
+            persistence.KIND_KEY: IVF_KIND,
+            "format_version": FORMAT_VERSION,
+            "model_name": self.index.model_name,
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "n_lists": self.n_lists,
+            "nprobe": self.nprobe,
+            "seed": self.seed,
+            "quantized": quantized_meta,
+        }
+        if format == "dir":
+            return persistence.write_archive_dir(path, arrays, metadata)
+        return persistence.write_archive(path, arrays, metadata)
+
+    @classmethod
+    def load(cls, path: str, index, mmap: bool = False) -> "IVFIndex":
+        """Re-attach a saved IVF structure to its source index."""
+        metadata = persistence.read_archive_metadata(path)
+        kind = persistence.archive_kind(metadata)
+        if kind != IVF_KIND:
+            raise ValueError(f"{path} holds a {kind!r} artifact, not an IVF index")
+        if metadata["format_version"] > FORMAT_VERSION:
+            raise ValueError(
+                f"IVF format v{metadata['format_version']} is newer than this "
+                f"reader (v{FORMAT_VERSION})"
+            )
+        if metadata["n_items"] != index.n_items or metadata["n_users"] != index.n_users:
+            raise ValueError(
+                f"IVF index was built for {metadata['n_users']} users x "
+                f"{metadata['n_items']} items, not this index's "
+                f"{index.n_users} x {index.n_items}"
+            )
+        arrays = persistence.read_archive_arrays(path, mmap=mmap)
+        quantized = None
+        if metadata.get("quantized") is not None:
+            quantized = QuantizedIndex(
+                index,
+                [
+                    QuantizedBranch(
+                        q_item=np.ascontiguousarray(arrays[f"branch{i}.q_item"]),
+                        scale=float(meta["scale"]),
+                        zero=int(meta["zero"]),
+                    )
+                    for i, meta in enumerate(metadata["quantized"])
+                ],
+            )
+        return cls(
+            index,
+            centroids=arrays["centroids"],
+            list_indptr=arrays["list_indptr"],
+            list_items=arrays["list_items"],
+            nprobe=int(metadata["nprobe"]),
+            quantized=quantized,
+            seed=int(metadata.get("seed", 0)),
+        )
+
+
+def build_ivf(
+    index,
+    n_lists: Optional[int] = None,
+    nprobe: Optional[int] = None,
+    seed: int = 0,
+    iters: int = 25,
+    quantize: bool = True,
+) -> IVFIndex:
+    """Build an :class:`IVFIndex` (and its int8 companion) from an index.
+
+    ``n_lists`` defaults to ``~sqrt(n_items)/2`` (see
+    :func:`default_n_lists` for why this substrate prefers fewer, larger
+    lists) and ``nprobe`` to an eighth of the lists — the default
+    operating point the recall-gated benchmark (``BENCH_ann.json``)
+    measures.  Deterministic given ``seed``.
+    """
+    n_lists = default_n_lists(index.n_items) if n_lists is None else int(n_lists)
+    if n_lists < 1:
+        raise ValueError(f"n_lists must be >= 1, got {n_lists}")
+    n_lists = min(n_lists, index.n_items)
+    vectors = combined_item_vectors(index.branches)
+    centroids, labels = kmeans(vectors, n_lists, seed=seed, iters=iters)
+    n_lists = centroids.shape[0]
+
+    # Contiguous list layout, item ids ascending within each list so the
+    # fine stage's tie-breaking matches exact search deterministically.
+    perm = np.lexsort((np.arange(index.n_items), labels))
+    counts = np.bincount(labels, minlength=n_lists)
+    indptr = np.zeros(n_lists + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    nprobe = default_nprobe(n_lists) if nprobe is None else int(nprobe)
+    nprobe = max(1, min(nprobe, n_lists))
+    quantized = QuantizedIndex.build(index) if quantize else None
+    return IVFIndex(
+        index,
+        centroids=centroids,
+        list_indptr=indptr,
+        list_items=perm,
+        nprobe=nprobe,
+        quantized=quantized,
+        seed=seed,
+    )

@@ -1,0 +1,117 @@
+"""Pure-NumPy k-means, the coarse quantizer behind :class:`IVFIndex`.
+
+Lloyd's algorithm with k-means++ seeding, run entirely in float64 for
+stable centroid updates regardless of the index precision.  Everything is
+deterministic given ``seed``: initialization draws from one
+``default_rng`` stream, assignment ties break toward the lowest cluster
+id (``argmin``), and empty clusters are reseeded to the point currently
+worst-served by its centroid — so rebuilding an IVF index from the same
+embeddings always yields the same partition.
+
+This is an offline, build-time kernel: clustering a few hundred thousand
+item vectors takes seconds, and the online path only ever multiplies
+queries against the resulting ``(n_clusters, dim)`` centroid matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """``(n_points, n_centroids)`` squared euclidean distances.
+
+    The ``|x|^2 - 2 x.c + |c|^2`` expansion turns the distance table into
+    one BLAS matmul; tiny negative values from cancellation are clipped so
+    downstream ``sqrt``/comparisons never see ``-0.0000...1``.
+    """
+    cross = points @ centroids.T
+    sq = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * cross
+        + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    )
+    return np.maximum(sq, 0.0)
+
+
+def _kmeanspp_init(points: np.ndarray, n_clusters: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = points.shape[0]
+    centroids = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest = _squared_distances(points, centroids[:1])[:, 0]
+    for i in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; any choice works.
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=closest / total))
+        centroids[i] = points[pick]
+        np.minimum(closest, _squared_distances(points, centroids[i : i + 1])[:, 0], out=closest)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    iters: int = 25,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``n_clusters``; returns ``(centroids, labels)``.
+
+    ``centroids`` is ``(n_clusters, dim)`` float64, ``labels`` is
+    ``(n_points,)`` int64.  ``n_clusters`` is clipped to the number of
+    points.  Iteration stops early once an assignment pass changes nothing.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if n < 1:
+        raise ValueError("need at least one point")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    n_clusters = min(int(n_clusters), n)
+    rng = np.random.default_rng(seed)
+
+    centroids = _kmeanspp_init(points, n_clusters, rng)
+    labels = np.full(n, -1, dtype=np.int64)
+    for _ in range(max(1, int(iters))):
+        distances = _squared_distances(points, centroids)
+        new_labels = distances.argmin(axis=1).astype(np.int64)
+
+        # Reseed empty clusters to the points their current centroids serve
+        # worst — deterministic, and it keeps every list non-degenerate so
+        # `nprobe` always buys real candidates.  A point only moves if its
+        # current cluster keeps at least one member, so reseeding can never
+        # create a fresh empty cluster (and the 0/0 NaN centroid it would
+        # produce); since empties exist only when some cluster has >= 2
+        # points, a donor always exists.
+        counts = np.bincount(new_labels, minlength=n_clusters)
+        empty = np.flatnonzero(counts == 0)
+        if len(empty):
+            assigned = distances[np.arange(n), new_labels]
+            worst = np.argsort(-assigned, kind="stable")
+            pointer = 0
+            for cluster in empty:
+                while pointer < n:
+                    point = worst[pointer]
+                    pointer += 1
+                    donor = new_labels[point]
+                    if counts[donor] > 1:
+                        counts[donor] -= 1
+                        counts[cluster] += 1
+                        new_labels[point] = cluster
+                        break
+
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        sums = np.zeros((n_clusters, points.shape[1]), dtype=np.float64)
+        np.add.at(sums, labels, points)
+        centroids = sums / counts[:, None]
+    return centroids, labels

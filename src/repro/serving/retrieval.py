@@ -45,6 +45,16 @@ class RetrievalEngine:
     (storefront tabs, price bands) plus a long tail of one-off per-request
     lists (stock-outs, personal deny lists); LRU keeps the former hot
     without letting the latter grow memory forever.
+
+    ``ann`` opts the engine into approximate retrieval: an
+    :class:`~repro.serving.ann.IVFIndex` (or
+    :class:`~repro.serving.ann.QuantizedIndex`) built over the same
+    catalog.  With one attached, :meth:`topk` routes through the ANN's
+    two-stage search — filters and train-item exclusions apply at the
+    re-rank stage, so a filtered request is ranked over exactly the items
+    its masks allow, just from a cluster-pruned candidate pool instead of
+    the full catalog.  Per-request opt-out (``use_ann=False``) keeps the
+    exact path one argument away.
     """
 
     def __init__(
@@ -52,10 +62,17 @@ class RetrievalEngine:
         index: EmbeddingIndex,
         item_block_size: int = 8192,
         mask_cache_capacity: int = 256,
+        ann=None,
     ) -> None:
         if item_block_size < 1:
             raise ValueError(f"item_block_size must be >= 1, got {item_block_size}")
+        if ann is not None and ann.n_items != index.n_items:
+            raise ValueError(
+                f"ann index covers {ann.n_items} items but the embedding index "
+                f"has {index.n_items}; rebuild the ann index from this catalog"
+            )
         self.index = index
+        self.ann = ann
         self.item_block_size = item_block_size
         self.mask_cache_capacity = mask_cache_capacity
         self._mask_cache: "OrderedDict[Tuple, Tuple[Optional[np.ndarray], np.ndarray]]" = OrderedDict()
@@ -98,8 +115,14 @@ class RetrievalEngine:
         exclude_train: bool = True,
         filters: Sequence[Filter] = (),
         drop_masked: bool = True,
+        use_ann: Optional[bool] = None,
     ) -> List[RetrievalResult]:
-        """Top-``k`` recommendations for a batch of warm users."""
+        """Top-``k`` recommendations for a batch of warm users.
+
+        ``use_ann`` overrides the engine default (``None`` = use the
+        attached ANN index when there is one): ``False`` forces the exact
+        path for this call, ``True`` requires an ANN index.
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         users = np.asarray(users, dtype=np.int64)
@@ -110,6 +133,12 @@ class RetrievalEngine:
                 f"user id out of range [0, {self.index.n_users}); "
                 "route unseen users through the cold-start fallback"
             )
+        if use_ann is None:
+            use_ann = self.ann is not None
+        if use_ann:
+            if self.ann is None:
+                raise ValueError("use_ann=True but no ANN index is attached")
+            return self._topk_ann(users, k, exclude_train, filters, drop_masked)
         if self.index.n_items <= self.item_block_size:
             return self._topk_single_block(
                 users, k, exclude_train, self.candidate_items(filters), drop_masked
@@ -133,9 +162,47 @@ class RetrievalEngine:
             candidate_items=candidates,
             drop_masked=drop_masked,
         )
-        return RetrievalResult(items=top, scores=np.asarray(scores, dtype=np.float64)[top])
+        # Scores stay in their own dtype: an f32 index must never pay an
+        # f64 copy on the request path (non-float input still coerces).
+        scores = np.asarray(scores)
+        if scores.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            scores = scores.astype(np.float64)
+        return RetrievalResult(items=top, scores=scores[top])
 
     # ------------------------------------------------------------------
+    def _topk_ann(
+        self,
+        users: np.ndarray,
+        k: int,
+        exclude_train: bool,
+        filters: Sequence[Filter],
+        drop_masked: bool,
+    ) -> List[RetrievalResult]:
+        """Two-stage approximate retrieval; masks apply at the re-rank stage.
+
+        The ANN search returns dense sentinel-padded rows (id ``-1`` /
+        score ``-inf`` past a user's allowed pool); those convert to the
+        engine's variable-length result contract here.  With
+        ``drop_masked=False`` a short pool still yields a short result —
+        the ANN path has no "keep masked entries" representation to pad
+        with, which only matters to callers that asked for more items than
+        the masks allow.
+        """
+        mask = self.candidate_mask(filters)
+        exclude_csr = (
+            (self.index.exclude_indptr, self.index.exclude_indices)
+            if exclude_train
+            else None
+        )
+        ids, scores = self.ann.search(
+            users, k, exclude_csr=exclude_csr, candidate_mask=mask
+        )
+        results = []
+        for row in range(len(users)):
+            keep = ids[row] >= 0
+            results.append(RetrievalResult(items=ids[row][keep], scores=scores[row][keep]))
+        return results
+
     def _topk_single_block(
         self,
         users: np.ndarray,

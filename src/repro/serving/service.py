@@ -121,13 +121,15 @@ class RecommenderService:
         cache_capacity: int = 1024,
         item_block_size: int = 8192,
         clock: Optional[Callable[[], float]] = None,
+        ann=None,
     ) -> None:
         if default_k < 1:
             raise ValueError(f"default_k must be >= 1, got {default_k}")
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self.index = index
-        self.engine = RetrievalEngine(index, item_block_size=item_block_size)
+        self.item_block_size = item_block_size
+        self.engine = RetrievalEngine(index, item_block_size=item_block_size, ann=ann)
         self.fallback = PriceProfileFallback(index)
         self.default_k = default_k
         self.max_batch_size = max_batch_size
@@ -137,10 +139,36 @@ class RecommenderService:
         self._queue: List[Tuple[Request, PendingRecommendation]] = []
         self.stats = ServingStats(clock=self._clock)
 
+    @property
+    def ann(self):
+        """The attached ANN index (None when serving exactly)."""
+        return self.engine.ann
+
     @classmethod
     def from_path(cls, path: str, **kwargs) -> "RecommenderService":
         """Stand up a service from a saved index archive (what a replica does)."""
         return cls(EmbeddingIndex.load(path), **kwargs)
+
+    def swap_index(self, index: EmbeddingIndex, ann=None) -> int:
+        """Hot-swap a rebuilt (retrained, re-quantized...) index in place.
+
+        Replaces the engine, fallback, and ANN index atomically with
+        respect to future requests and invalidates every derived cache —
+        the LRU result cache and the engine's filter-mask cache — so no
+        request served after the swap can observe a stale top-K from the
+        old index.  In-flight queued requests are flushed against the old
+        index first: they were submitted under it, and answering them from
+        a half-swapped state would be neither-index results.
+
+        Returns the number of cached results evicted.
+        """
+        self.flush()
+        self.index = index
+        self.engine = RetrievalEngine(index, item_block_size=self.item_block_size, ann=ann)
+        self.fallback = PriceProfileFallback(index)
+        evicted = len(self._cache)
+        self._cache.clear()
+        return evicted
 
     # ------------------------------------------------------------------
     # Request entry points

@@ -27,6 +27,9 @@ class TrainConfig:
     seed: int = 0
     eval_every: int = 0  # 0 disables validation tracking
     eval_k: int = 50
+    eval_workers: int = 0  # parallel workers for validation passes (0 = serial)
+    eval_mode: str = "auto"  # validation pool mode: auto/serial/thread/process
+    eval_shards: int = 1  # item-range shards per validation chunk
     early_stop_patience: int = 0  # 0 disables early stopping
     loss: str = "bpr"  # "bpr" (standard, stable) or "bpr_eq4" (literal Eq. 4)
     fused_kernels: bool = True  # single-node BPR/L2 kernels (False: composed ops)
@@ -47,6 +50,12 @@ class TrainConfig:
             raise ValueError(f"negative_rate must be >= 1, got {self.negative_rate}")
         if self.eval_every < 0 or self.early_stop_patience < 0:
             raise ValueError("eval_every and early_stop_patience must be >= 0")
+        if self.eval_workers < 0 or self.eval_shards < 1:
+            raise ValueError("eval_workers must be >= 0 and eval_shards >= 1")
+        if self.eval_mode not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"eval_mode must be auto/serial/thread/process, got {self.eval_mode!r}"
+            )
         if self.early_stop_patience and not self.eval_every:
             raise ValueError("early stopping requires eval_every > 0")
         if self.loss not in ("bpr", "bpr_eq4"):

@@ -22,7 +22,8 @@ import numpy as np
 from ..core.base import Recommender
 from ..data.dataset import Dataset
 from ..data.sampling import NegativeSampler
-from ..eval.ranking import evaluate
+from ..eval.ranking import _export_branches, evaluate
+from ..runtime.engine import BatchRuntime, RuntimeConfig
 from ..nn import (
     Adam,
     StepDecay,
@@ -117,6 +118,9 @@ class Trainer:
         self._rng = np.random.default_rng(self.config.seed)
         #: populated by :meth:`fit`; inspectable afterwards
         self.profiler = Profiler()
+        #: one batch runtime reused across every validation pass of a fit
+        #: (pool startup is paid once, not per epoch); see :meth:`_validate`
+        self._eval_runtime = None
 
     def fit(self) -> TrainResult:
         """Run the training loop; returns the loss/validation history.
@@ -138,49 +142,54 @@ class Trainer:
         best_state = None
         bad_evals = 0
 
-        for epoch in range(1, config.epochs + 1):
-            self.model.train()
-            epoch_loss, n_batches, epoch_triples = 0.0, 0, 0
-            epoch_start = time.perf_counter()
-            batches = sampler.epoch_batches(config.batch_size)
-            while True:
-                with profiler.phase("sampling"):
-                    batch = next(batches, None)
-                if batch is None:
-                    break
-                users, pos_items, neg_items = batch
-                epoch_loss += self._step(optimizer, users, pos_items, neg_items)
-                n_batches += 1
-                epoch_triples += len(users)
-            schedule.step()
-            epoch_seconds = time.perf_counter() - epoch_start
-            profiler.count("triples", epoch_triples)
-            profiler.count("batches", n_batches)
-            profiler.count("epochs")
-            result.epoch_losses.append(epoch_loss / max(n_batches, 1))
-            result.epochs_run = epoch
-            if config.verbose:
-                throughput = epoch_triples / epoch_seconds if epoch_seconds > 0 else 0.0
-                print(
-                    f"[{self.model.name}] epoch {epoch:3d}/{config.epochs} "
-                    f"loss={result.epoch_losses[-1]:.4f} lr={schedule.current_lr:g} "
-                    f"{throughput:,.0f} triples/s ({profiler.format_phases()})"
-                )
-
-            if config.eval_every and epoch % config.eval_every == 0:
-                with profiler.phase("validate"):
-                    metrics = self._validate()
-                result.validation_history.append(metrics)
-                metric = metrics[f"Recall@{config.eval_k}"]
-                if metric > result.best_metric:
-                    result.best_metric = metric
-                    result.best_epoch = epoch
-                    best_state = self._snapshot_state()
-                    bad_evals = 0
-                else:
-                    bad_evals += 1
-                    if config.early_stop_patience and bad_evals >= config.early_stop_patience:
+        try:
+            for epoch in range(1, config.epochs + 1):
+                self.model.train()
+                epoch_loss, n_batches, epoch_triples = 0.0, 0, 0
+                epoch_start = time.perf_counter()
+                batches = sampler.epoch_batches(config.batch_size)
+                while True:
+                    with profiler.phase("sampling"):
+                        batch = next(batches, None)
+                    if batch is None:
                         break
+                    users, pos_items, neg_items = batch
+                    epoch_loss += self._step(optimizer, users, pos_items, neg_items)
+                    n_batches += 1
+                    epoch_triples += len(users)
+                schedule.step()
+                epoch_seconds = time.perf_counter() - epoch_start
+                profiler.count("triples", epoch_triples)
+                profiler.count("batches", n_batches)
+                profiler.count("epochs")
+                result.epoch_losses.append(epoch_loss / max(n_batches, 1))
+                result.epochs_run = epoch
+                if config.verbose:
+                    throughput = epoch_triples / epoch_seconds if epoch_seconds > 0 else 0.0
+                    print(
+                        f"[{self.model.name}] epoch {epoch:3d}/{config.epochs} "
+                        f"loss={result.epoch_losses[-1]:.4f} lr={schedule.current_lr:g} "
+                        f"{throughput:,.0f} triples/s ({profiler.format_phases()})"
+                    )
+
+                if config.eval_every and epoch % config.eval_every == 0:
+                    with profiler.phase("validate"):
+                        metrics = self._validate()
+                    result.validation_history.append(metrics)
+                    metric = metrics[f"Recall@{config.eval_k}"]
+                    if metric > result.best_metric:
+                        result.best_metric = metric
+                        result.best_epoch = epoch
+                        best_state = self._snapshot_state()
+                        bad_evals = 0
+                    else:
+                        bad_evals += 1
+                        if config.early_stop_patience and bad_evals >= config.early_stop_patience:
+                            break
+        finally:
+            if self._eval_runtime is not None:
+                self._eval_runtime.close()
+                self._eval_runtime = None
 
         if best_state is not None:
             self.model.load_state_dict(best_state)
@@ -244,10 +253,46 @@ class Trainer:
         return loss.item()
 
     def _validate(self) -> Dict[str, float]:
+        """One validation pass, through a runtime reused across epochs.
+
+        The first validation builds a :class:`~repro.runtime.BatchRuntime`
+        (with ``eval_workers`` / ``eval_mode`` / ``eval_shards`` from the
+        config); later epochs :meth:`~repro.runtime.BatchRuntime.refresh`
+        it with the epoch's re-frozen branches — the worker pool survives,
+        so per-epoch cost is one export + one broadcast instead of pool
+        startup (~28 ms per 4-process pool in BENCH_eval.json, paid every
+        epoch before this).  Metrics are identical either way.  Models
+        without a factorizable score fall back to plain per-call
+        evaluation.
+        """
         self.model.eval()
         if len(self.dataset.validation) == 0:
             raise ValueError("validation tracking enabled but the validation split is empty")
-        return evaluate(self.model, self.dataset, split="validation", ks=(self.config.eval_k,))
+        config = self.config
+        branches = _export_branches(self.model)
+        if branches is None:
+            return evaluate(
+                self.model, self.dataset, split="validation", ks=(config.eval_k,)
+            )
+        if self._eval_runtime is None:
+            self._eval_runtime = BatchRuntime(
+                branches,
+                RuntimeConfig(
+                    workers=config.eval_workers,
+                    mode=config.eval_mode,
+                    shards=config.eval_shards,
+                ),
+                exclude_csr=self.dataset.train_exclusion_csr(),
+            )
+        else:
+            self._eval_runtime.refresh(branches)
+        return evaluate(
+            self.model,
+            self.dataset,
+            split="validation",
+            ks=(config.eval_k,),
+            runtime=self._eval_runtime,
+        )
 
 
 def train_model(

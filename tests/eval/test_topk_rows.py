@@ -85,6 +85,32 @@ class TestTopkPairsRows:
         with pytest.raises(ValueError):
             topk_pairs_rows(np.zeros(3), np.zeros(3), 1)
 
+    @pytest.mark.parametrize("seed", range(10))
+    def test_partition_fast_path_matches_per_row(self, seed):
+        """k << L exercises the argpartition path (the ANN-merge shape)."""
+        rng = np.random.default_rng(seed)
+        rows, length, k = int(rng.integers(1, 6)), int(rng.integers(64, 300)), 5
+        ids = np.stack([rng.permutation(2000)[:length] for _ in range(rows)])
+        # integer-valued scores: heavy exact ties at the k-th rank
+        values = rng.integers(0, 6, size=(rows, length)).astype(np.float64)
+        got = topk_pairs_rows(ids, values, k)
+        for row in range(rows):
+            np.testing.assert_array_equal(got[row], topk_pairs(ids[row], values[row], k))
+
+    def test_fast_path_boundary_ties_pick_lowest_item_ids(self):
+        length, k = 100, 4
+        ids = np.arange(length)[None, ::-1].copy()  # ids descend across columns
+        values = np.full((1, length), 7.0)
+        values[0, :2] = 9.0  # two clear winners, the rest tied at the boundary
+        sel = topk_pairs_rows(ids, values, k)[0]
+        np.testing.assert_array_equal(ids[0][sel], [98, 99, 0, 1])
+
+    def test_fast_path_handles_all_neg_inf_rows(self):
+        ids = np.arange(80)[None, :].copy()
+        values = np.full((1, 80), -np.inf)
+        sel = topk_pairs_rows(ids, values, 3)[0]
+        np.testing.assert_array_equal(ids[0][sel], [0, 1, 2])
+
 
 class TestMaskedTopkDtype:
     def test_float32_rows_are_not_upcast(self, monkeypatch):

@@ -1,0 +1,183 @@
+"""Int8 quantization: error bounds, integer accumulation, save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.core.base import ScoreBranch
+from repro.data import SyntheticConfig, generate
+from repro.serving import QuantizedIndex, export_index
+from repro.serving.ann import accumulate_codes, quantize_items, quantize_queries
+from repro.serving.index import EmbeddingIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=60, n_items=140, n_categories=4, n_price_levels=4,
+        interactions_per_user=7, seed=11,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=12, category_dim=6, rng=np.random.default_rng(5))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, index
+
+
+def hand_index(item_arrays, user_arrays, consts=None, n_users=None):
+    """A minimal EmbeddingIndex from raw branch arrays."""
+    branches = []
+    consts = consts or [None] * len(item_arrays)
+    for user, item, const in zip(user_arrays, item_arrays, consts):
+        branches.append(ScoreBranch(user=user, item=item, item_const=const))
+    n_items = item_arrays[0].shape[0]
+    n_users = user_arrays[0].shape[0]
+    return EmbeddingIndex(
+        branches,
+        item_categories=np.zeros(n_items, dtype=np.int64),
+        item_price_levels=np.zeros(n_items, dtype=np.int64),
+        n_price_levels=4,
+        n_categories=1,
+        exclude_indptr=np.zeros(n_users + 1, dtype=np.int64),
+        exclude_indices=np.zeros(0, dtype=np.int64),
+        item_popularity=np.ones(n_items),
+    )
+
+
+class TestQuantization:
+    def test_reconstruction_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        item = rng.normal(size=(300, 16)) * 3.0 + 1.0
+        qb = quantize_items(item)
+        err = np.abs(qb.dequantized() - item).max()
+        assert err <= qb.max_abs_error * (1 + 1e-12)
+
+    def test_constant_branch_quantizes_exactly(self):
+        item = np.full((50, 4), 2.5)
+        qb = quantize_items(item)
+        np.testing.assert_allclose(qb.dequantized(), item)
+
+    def test_zero_branch_quantizes_exactly(self):
+        qb = quantize_items(np.zeros((10, 3)))
+        np.testing.assert_array_equal(qb.dequantized(), np.zeros((10, 3)))
+
+    def test_per_branch_scales_track_each_branchs_range(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        for branch, qb in zip(index.branches, quantized.quantized):
+            span = float(branch.item.max() - branch.item.min())
+            assert qb.scale == pytest.approx(span / 254.0)
+
+    def test_codes_are_int8_and_memory_shrinks(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        for qb in quantized.quantized:
+            assert qb.q_item.dtype == np.int8
+        item_bytes = sum(branch.item.nbytes for branch in index.branches)
+        assert quantized.memory_bytes() * 7 < item_bytes  # float64 source: 8x
+
+
+class TestIntegerAccumulation:
+    def test_float32_accumulation_is_exact_integer_arithmetic(self):
+        rng = np.random.default_rng(1)
+        q_user = rng.integers(-127, 128, size=(20, 1024)).astype(np.float32)
+        q_item = rng.integers(-128, 128, size=(64, 1024)).astype(np.int8)
+        acc = accumulate_codes(q_user, q_item)
+        reference = q_user.astype(np.int64) @ q_item.astype(np.int64).T
+        np.testing.assert_array_equal(acc.astype(np.int64), reference)
+
+    def test_wide_factorizations_fall_back_to_int64(self):
+        rng = np.random.default_rng(2)
+        q_user = rng.integers(-127, 128, size=(3, 1500)).astype(np.float32)
+        q_item = rng.integers(-128, 128, size=(5, 1500)).astype(np.int8)
+        acc = accumulate_codes(q_user, q_item)
+        reference = q_user.astype(np.int64) @ q_item.astype(np.int64).T
+        np.testing.assert_array_equal(acc.astype(np.int64), reference)
+
+    def test_query_quantization_handles_zero_rows(self):
+        codes, scales = quantize_queries(np.vstack([np.zeros(4), np.ones(4)]))
+        assert scales[0] == 1.0
+        np.testing.assert_array_equal(codes[0], 0)
+        assert np.abs(codes).max() <= 127
+
+
+class TestScoring:
+    def test_approximate_scores_close_to_exact(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        users = np.arange(20)
+        exact = index.score(users)
+        approx = quantized.score(users)
+        # Error budget: per-branch dot over d elements with half-step item
+        # and query error; generous envelope, tight enough to catch a
+        # broken dequantization.
+        span = exact.max() - exact.min()
+        assert np.abs(exact - approx).max() < 0.05 * span
+
+    def test_scores_preserve_index_dtype(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        assert quantized.score(np.arange(3)).dtype == quantized.dtype
+
+    def test_block_scoring_matches_full_scan(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        users = np.arange(7)
+        full = quantized.score(users)
+        parts = np.hstack(
+            [quantized.score_block(users, s, min(s + 50, index.n_items))
+             for s in range(0, index.n_items, 50)]
+        )
+        np.testing.assert_array_equal(full, parts)
+
+    def test_search_is_full_scan_topk_of_quantized_scores(self, setup):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        users = np.arange(10)
+        ids, scores = quantized.search(users, k=12)
+        full = quantized.score(users)
+        for row in range(len(users)):
+            order = np.argsort(-full[row], kind="stable")[:12]
+            np.testing.assert_array_equal(ids[row], order)
+            np.testing.assert_array_equal(scores[row], full[row][order])
+
+    def test_search_respects_exclusions_and_mask(self, setup):
+        dataset, index = setup
+        quantized = QuantizedIndex.build(index)
+        users = np.arange(15)
+        mask = np.zeros(index.n_items, dtype=bool)
+        mask[: index.n_items // 2] = True
+        csr = (index.exclude_indptr, index.exclude_indices)
+        ids, scores = quantized.search(users, k=10, exclude_csr=csr, candidate_mask=mask)
+        for row, user in enumerate(users):
+            kept = ids[row][ids[row] >= 0]
+            assert np.all(kept < index.n_items // 2)
+            excluded = index.excluded_items(int(user))
+            assert len(np.intersect1d(kept, excluded)) == 0
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("fmt", ["npz", "dir"])
+    def test_roundtrip(self, setup, fmt, tmp_path):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        path = quantized.save(str(tmp_path / "codes"), format=fmt)
+        loaded = QuantizedIndex.load(path, index)
+        users = np.arange(9)
+        np.testing.assert_array_equal(quantized.score(users), loaded.score(users))
+
+    def test_load_rejects_wrong_catalog(self, setup, tmp_path):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        path = quantized.save(str(tmp_path / "codes.npz"))
+        other = hand_index(
+            [np.ones((index.n_items + 1, 3))], [np.ones((index.n_users, 3))]
+        )
+        with pytest.raises(ValueError, match="built for"):
+            QuantizedIndex.load(path, other)
+
+    def test_load_rejects_other_artifact_kinds(self, setup, tmp_path):
+        _, index = setup
+        path = index.save(str(tmp_path / "index.npz"))
+        with pytest.raises(ValueError, match="not a quantized index"):
+            QuantizedIndex.load(path, index)
