@@ -10,7 +10,9 @@ For several catalog sizes this measures, with the same PUP architecture:
   :class:`~repro.serving.service.RecommenderService` (cache disabled, so
   numbers are pure compute);
 * **served (batched)** — the same requests micro-batched 64 at a time, the
-  intended production configuration.
+  intended production configuration — measured with full observability on
+  (metrics registry + span tracer), so the CI speedup gate prices in the
+  instrumentation overhead a production deployment actually pays.
 
 Reported: p50/p99 per-request latency, QPS, and the live/served speedup.
 Weights are untrained (timing does not depend on weight values).
@@ -43,6 +45,7 @@ from _harness import write_report
 from repro.core import pup_full
 from repro.data import SyntheticConfig, generate
 from repro.eval import topk_rankings
+from repro.obs import Tracer
 from repro.serving import RecommenderService, export_index
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -100,8 +103,13 @@ def bench_catalog(
         service.recommend(int(user))
         single_lat.append(time.perf_counter() - began)
 
-    # --- served, micro-batched ------------------------------------------
-    batched = RecommenderService(index, default_k=K, cache_capacity=0, max_batch_size=BATCH)
+    # --- served, micro-batched, observability on ------------------------
+    # Tracer + registry attached: the gated speedup includes the cost of
+    # recording spans and histogram observations on every request.
+    tracer = Tracer(process_name="bench-serving")
+    batched = RecommenderService(
+        index, default_k=K, cache_capacity=0, max_batch_size=BATCH, tracer=tracer
+    )
     batch_lat = []
     users = rng.choice(warm_users, size=served_queries)
     for start in range(0, len(users), BATCH):
@@ -109,6 +117,7 @@ def bench_catalog(
         began = time.perf_counter()
         batched.recommend_many(chunk)
         batch_lat.append((time.perf_counter() - began) / len(chunk))
+    assert len(tracer) >= served_queries  # every request really was traced
 
     live_p50, live_p99 = percentiles(live_lat)
     single_p50, single_p99 = percentiles(single_lat)

@@ -15,7 +15,10 @@ Public API tour:
 * :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
 * :mod:`repro.nn`     — the NumPy autograd substrate (precision policy,
   fused kernels)
+* :mod:`repro.obs`    — metrics registry (Prometheus/JSON exporters), span
+  tracing (Chrome trace), live ``/metrics`` endpoint (docs/observability.md)
 * :mod:`repro.profiling` — scoped timers/counters behind ``TrainResult.profile``
+  (a thin view over a :class:`repro.obs.MetricsRegistry`)
 
 Quickstart (declarative experiment API)::
 
@@ -43,7 +46,7 @@ The same pipeline is reachable from the shell: ``python -m repro train
 
 __version__ = "1.2.0"
 
-from . import analysis, baselines, core, data, eval, experiments, graph, nn, profiling, serving, train
+from . import analysis, baselines, core, data, eval, experiments, graph, nn, obs, profiling, serving, train
 from .data.registry import available_datasets, load_dataset
 from .experiments import (
     Experiment,
@@ -54,6 +57,7 @@ from .experiments import (
 )
 from .experiments import run as run_experiment
 from .nn import precision, set_default_dtype
+from .obs import MetricsRegistry, MetricsServer, Tracer
 from .profiling import Profiler
 
 __all__ = [
@@ -61,6 +65,10 @@ __all__ = [
     "set_default_dtype",
     "Profiler",
     "profiling",
+    "obs",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Tracer",
     "analysis",
     "baselines",
     "core",

@@ -11,7 +11,12 @@ Subcommands:
 * ``recommend`` — bulk top-K export for every warm user via the parallel
   batch-inference runtime
 * ``serve``     — answer recommendation queries from an artifact dir
+  (``--metrics-port`` exposes a live Prometheus ``/metrics`` endpoint;
+  ``--hold`` keeps it up for scraping)
 * ``compare``   — train several models on one dataset, print a table
+
+``train`` / ``evaluate`` / ``recommend`` / ``serve`` accept ``--trace-out``
+to record a Chrome-trace span timeline (see ``docs/observability.md``).
 
 Every subcommand goes through :mod:`repro.experiments`; nothing here
 touches model factories or training loops directly.
@@ -68,6 +73,31 @@ def _parse_ks(text: str, flag: str = "--ks") -> tuple:
 def _print_metrics(metrics: Dict[str, float], indent: str = "  ") -> None:
     for name in sorted(metrics):
         print(f"{indent}{name}: {metrics[name]:.4f}")
+
+
+def _make_tracer(args: argparse.Namespace, process_name: str):
+    """A :class:`repro.obs.Tracer` when ``--trace-out`` was given, else None."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from .obs.trace import Tracer
+
+    return Tracer(process_name=process_name)
+
+
+def _write_trace(tracer, args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    path = tracer.write(args.trace_out)
+    print(f"trace: {len(tracer)} spans -> {path}")
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a span trace of this command: Chrome trace-event JSON "
+        "(load in Perfetto / chrome://tracing), or JSONL when FILE ends in "
+        ".jsonl (see docs/observability.md)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -152,9 +182,11 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
 def cmd_train(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     artifacts_dir = args.out or os.path.join("runs", spec.name)
+    tracer = _make_tracer(args, "repro-train")
     experiment = run(
         spec, artifacts_dir=artifacts_dir, verbose=not args.quiet,
         eval_workers=args.eval_workers, eval_shards=args.eval_shards,
+        tracer=tracer,
     )
     result = experiment.train_result
     if result is not None and result.triples_per_sec:
@@ -175,6 +207,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"\n{spec.name} metrics ({spec.eval.split}):")
     _print_metrics(experiment.metrics)
     print(f"artifacts: {artifacts_dir}")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -184,11 +217,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     experiment = Experiment.load(args.artifacts)
     ks = _parse_ks(args.ks) if args.ks else None
     profiler = Profiler()
+    tracer = _make_tracer(args, "repro-evaluate")
     start = time.perf_counter()
     metrics = experiment.evaluate(
-        ks=ks, split=args.split, workers=args.workers, shards=args.shards, profiler=profiler
+        ks=ks, split=args.split, workers=args.workers, shards=args.shards,
+        profiler=profiler, tracer=tracer,
     )
     wall = time.perf_counter() - start
+    _write_trace(tracer, args)
     label = args.split or experiment.spec.eval.split
     print(f"{experiment.spec.name} metrics ({label}):")
     _print_metrics(metrics)
@@ -319,6 +355,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     ann = None
     if args.ann:
         ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+    tracer = _make_tracer(args, "repro-recommend")
     start = time.perf_counter()
     recommendations = recommend_all(
         index,
@@ -327,8 +364,10 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         ann=ann,
+        tracer=tracer,
     )
     wall = time.perf_counter() - start
+    _write_trace(tracer, args)
     out = args.out or os.path.join(args.artifacts, "recommendations.npz")
     path = recommendations.save(out)
     n = len(recommendations.users)
@@ -344,7 +383,12 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    if args.hold and args.metrics_port is None:
+        raise SystemExit("--hold keeps the metrics endpoint up; it needs --metrics-port")
     experiment = Experiment.load(args.artifacts)
+    tracer = _make_tracer(args, "repro-serve")
     try:
         ann = None
         if args.ann:
@@ -353,10 +397,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"approximate retrieval: {ann.n_lists} lists, nprobe {ann.nprobe} "
                 "(filters and exclusions apply at re-rank)"
             )
-        service = experiment.service(default_k=args.k, ann=ann)
+        service = experiment.service(default_k=args.k, ann=ann, tracer=tracer)
     except ExportError as error:
         print(f"cannot serve this artifact: {error}", file=sys.stderr)
         return 1
+
+    server = None
+    if args.metrics_port is not None:
+        from .obs.server import MetricsServer
+
+        server = MetricsServer(
+            service.registry,
+            port=args.metrics_port,
+            stats_fn=service.stats.extended_snapshot,
+            update_fn=service._sync_gauges,
+        ).start()
+        print(f"metrics: {server.url('/metrics')} (also /stats, /healthz)")
 
     if args.users and not args.dry_run:
         users = [int(u) for u in args.users.split(",")]
@@ -372,6 +428,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"served {snapshot['requests']:.0f} requests | "
         f"p50 {snapshot['latency_p50_ms']:.3f} ms | {snapshot['qps']:.0f} QPS"
     )
+    # The trace is written before any --hold loop so a scraper driving this
+    # process (CI smoke) can validate it without waiting for shutdown.
+    _write_trace(tracer, args)
+    if server is not None:
+        if args.hold:
+            print(f"holding metrics endpoint on port {server.port}; Ctrl-C to exit",
+                  flush=True)
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        server.stop()
     return 0
 
 
@@ -469,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--eval-shards", type=int, default=1)
     train.add_argument("--quiet", action="store_true")
+    _add_trace_flag(train)
     train.set_defaults(func=cmd_train)
 
     evaluate = commands.add_parser("evaluate", help="re-evaluate a saved artifact dir")
@@ -499,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum acceptable recall@K for --ann-check (default 0.95)",
     )
     _add_ann_build_flags(evaluate)
+    _add_trace_flag(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     export = commands.add_parser("export", help="rebuild the serving index")
@@ -539,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
         "index instead of exact full-catalog scoring",
     )
     _add_ann_build_flags(recommend)
+    _add_trace_flag(recommend)
     recommend.set_defaults(func=cmd_recommend)
 
     serve = commands.add_parser("serve", help="answer queries from an artifact dir")
@@ -556,7 +628,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through approximate retrieval (saved ann.npz if present, "
         "else built with defaults); filters apply at re-rank",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="serve /metrics (Prometheus exposition), /stats (JSON), and "
+        "/healthz on 127.0.0.1:PORT while this command runs (0 = ephemeral; "
+        "the bound port is printed)",
+    )
+    serve.add_argument(
+        "--hold", action="store_true",
+        help="after answering the queries, keep the --metrics-port endpoint "
+        "up until Ctrl-C (for scraping a live process)",
+    )
     _add_ann_build_flags(serve)
+    _add_trace_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
     compare = commands.add_parser("compare", help="train several models, print a table")

@@ -59,6 +59,7 @@ def topk_rankings(
     shards: int = 1,
     profiler=None,
     runtime: Optional[BatchRuntime] = None,
+    tracer=None,
 ) -> Dict[int, np.ndarray]:
     """Top-k ranked item ids per user.
 
@@ -103,7 +104,7 @@ def topk_rankings(
                 "runtime to match the protocol"
             )
         ordered, ids, _ = runtime.rank(
-            users, k, candidate_items=candidate_items, profiler=profiler
+            users, k, candidate_items=candidate_items, profiler=profiler, tracer=tracer
         )
         return {int(user): ids[row] for row, user in enumerate(ordered)}
 
@@ -118,7 +119,7 @@ def topk_rankings(
     config = RuntimeConfig(workers=workers, mode=mode, shards=shards, user_chunk=user_chunk)
     with BatchRuntime(branches, config, exclude_csr=exclude_csr) as live_runtime:
         ordered, ids, _ = live_runtime.rank(
-            users, k, candidate_items=candidate_items, profiler=profiler
+            users, k, candidate_items=candidate_items, profiler=profiler, tracer=tracer
         )
     return {int(user): ids[row] for row, user in enumerate(ordered)}
 
@@ -289,6 +290,7 @@ def evaluate(
     shards: int = 1,
     profiler=None,
     runtime: Optional[BatchRuntime] = None,
+    tracer=None,
 ) -> Dict[str, float]:
     """Recall@K / NDCG@K averaged over users with positives in ``split``.
 
@@ -313,14 +315,20 @@ def evaluate(
 
     if profiler is None:
         profiler = Profiler(enabled=False)
+    from ..obs.trace import maybe_span
+
     start = time.perf_counter()
-    rankings = topk_rankings(
-        model, dataset, sorted(positives), k=max(ks), exclude_train=exclude_train,
-        user_chunk=user_chunk, workers=workers, mode=mode, shards=shards,
-        profiler=profiler, runtime=runtime,
-    )
-    with profiler.phase("metrics"):
-        metrics = metrics_from_rankings(rankings, positives, ks)
+    with maybe_span(
+        tracer, "eval", cat="eval", attrs={"split": split, "n_users": len(positives)}
+    ):
+        rankings = topk_rankings(
+            model, dataset, sorted(positives), k=max(ks), exclude_train=exclude_train,
+            user_chunk=user_chunk, workers=workers, mode=mode, shards=shards,
+            profiler=profiler, runtime=runtime, tracer=tracer,
+        )
+        with maybe_span(tracer, "eval.metrics", cat="eval"):
+            with profiler.phase("metrics"):
+                metrics = metrics_from_rankings(rankings, positives, ks)
     profiler.count("evaluated_users", len(positives))
     # Wall clock for throughput: the kernel phases are summed across
     # workers in parallel modes and would understate users/sec.

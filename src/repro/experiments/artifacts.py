@@ -2,15 +2,17 @@
 
 One :func:`repro.experiments.run` call materializes as a directory:
 
-====================  ====================================================
-``spec.json``         format version + the full :class:`ExperimentSpec`
-``checkpoint.npz``    model parameters (:mod:`repro.train.persistence`)
-``index.npz``         frozen :class:`~repro.serving.EmbeddingIndex`
-                      (absent for non-factorizable models, e.g. DeepFM)
-``metrics.json``      eval metrics + training summary (validation-off runs
-                      serialize ``best_metric``/``best_epoch`` as null)
-``loss_curve.json``   per-epoch losses + validation history
-====================  ====================================================
+======================  ==================================================
+``spec.json``           format version + the full :class:`ExperimentSpec`
+``checkpoint.npz``      model parameters (:mod:`repro.train.persistence`)
+``index.npz``           frozen :class:`~repro.serving.EmbeddingIndex`
+                        (absent for non-factorizable models, e.g. DeepFM)
+``metrics.json``        eval metrics + training summary (validation-off runs
+                        serialize ``best_metric``/``best_epoch`` as null)
+``loss_curve.json``     per-epoch losses + validation history
+``observability.json``  :meth:`repro.obs.MetricsRegistry.to_json` snapshot
+                        of the run (train + eval phase counters)
+======================  ==================================================
 
 :class:`Experiment` is the live handle over those pieces — the trained
 model, its dataset, metrics, and the serving index — whether it came fresh
@@ -42,6 +44,7 @@ INDEX_FILENAME = "index.npz"
 ANN_FILENAME = "ann.npz"
 METRICS_FILENAME = "metrics.json"
 LOSS_CURVE_FILENAME = "loss_curve.json"
+OBS_FILENAME = "observability.json"
 
 #: bump when the directory layout changes incompatibly
 ARTIFACT_FORMAT_VERSION = 1
@@ -72,6 +75,7 @@ class Experiment:
         index: Optional[EmbeddingIndex] = None,
         artifacts_dir: Optional[str] = None,
         eval_profile: Optional[Dict] = None,
+        obs_snapshot: Optional[Dict] = None,
     ) -> None:
         self.spec = spec
         self.dataset = dataset
@@ -83,6 +87,10 @@ class Experiment:
         #: profiler summary of the evaluation pass (score/topk/merge/metrics
         #: phases); persisted in metrics.json next to the training profile
         self.eval_profile = eval_profile
+        #: full :meth:`repro.obs.MetricsRegistry.to_json` snapshot of the
+        #: run's registry (train + eval phase counters); persisted as
+        #: ``observability.json``
+        self.obs_snapshot = obs_snapshot
 
     # ------------------------------------------------------------------
     # Serving surface
@@ -152,12 +160,13 @@ class Experiment:
 
     def evaluate(
         self, ks: Optional[Sequence[int]] = None, split: Optional[str] = None,
-        workers: int = 0, shards: int = 1, profiler=None,
+        workers: int = 0, shards: int = 1, profiler=None, tracer=None,
     ):
         """Re-run the spec's eval protocol (optionally overriding ks/split).
 
         ``workers`` / ``shards`` parallelize the pass without changing any
-        result bit (see :mod:`repro.runtime`).
+        result bit (see :mod:`repro.runtime`); ``profiler`` / ``tracer``
+        observe it without changing any result bit either.
         """
         protocol = self.spec.eval
         if ks is not None or split is not None:
@@ -166,7 +175,10 @@ class Experiment:
                 ks=tuple(ks) if ks is not None else protocol.ks,
                 exclude_train=protocol.exclude_train,
             )
-        return protocol.run(self.model, self.dataset, workers=workers, shards=shards, profiler=profiler)
+        return protocol.run(
+            self.model, self.dataset, workers=workers, shards=shards,
+            profiler=profiler, tracer=tracer,
+        )
 
     # ------------------------------------------------------------------
     # Artifact store
@@ -227,6 +239,8 @@ class Experiment:
                 "index": index_file,
             },
         )
+        if self.obs_snapshot is not None:
+            _write_json(os.path.join(artifacts_dir, OBS_FILENAME), self.obs_snapshot)
         self.artifacts_dir = artifacts_dir
         return artifacts_dir
 
@@ -278,6 +292,9 @@ class Experiment:
             if stored.get("train") is not None or curves:
                 train_result = TrainResult.from_dict({**(stored.get("train") or {}), **curves})
 
+        obs_path = os.path.join(artifacts_dir, OBS_FILENAME)
+        obs_snapshot = _read_json(obs_path) if os.path.exists(obs_path) else None
+
         index_path = os.path.join(artifacts_dir, INDEX_FILENAME)
         index = EmbeddingIndex.load(index_path) if os.path.exists(index_path) else None
         return cls(
@@ -289,4 +306,5 @@ class Experiment:
             index=index,
             artifacts_dir=artifacts_dir,
             eval_profile=eval_profile,
+            obs_snapshot=obs_snapshot,
         )

@@ -89,18 +89,19 @@ class EvalSpec:
 
     def run(
         self, model, dataset, workers: int = 0, mode: str = "auto", shards: int = 1,
-        profiler=None,
+        profiler=None, tracer=None,
     ) -> Dict[str, float]:
         """Evaluate ``model`` under this protocol.
 
         ``workers`` / ``mode`` / ``shards`` are execution knobs, not part of
         the protocol — results are bit-identical for every setting (see
         :mod:`repro.runtime`), which is why they are call-time arguments
-        rather than serialized spec fields.
+        rather than serialized spec fields.  ``profiler`` / ``tracer`` are
+        observation hooks (:mod:`repro.obs`) and change nothing either.
         """
         return evaluate(
             model, dataset, split=self.split, ks=self.ks, exclude_train=self.exclude_train,
-            workers=workers, mode=mode, shards=shards, profiler=profiler,
+            workers=workers, mode=mode, shards=shards, profiler=profiler, tracer=tracer,
         )
 
     def to_dict(self) -> Dict[str, Any]:

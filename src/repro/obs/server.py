@@ -1,0 +1,120 @@
+"""A stdlib HTTP endpoint surfacing the metrics registry live.
+
+:class:`MetricsServer` runs a ``ThreadingHTTPServer`` on a daemon thread
+and serves three routes:
+
+* ``GET /metrics``  — Prometheus text exposition of the registry
+* ``GET /stats``    — JSON: the ``stats_fn`` payload if one was given
+  (e.g. ``ServingStats.extended_snapshot``), else the registry's
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_json`
+* ``GET /healthz``  — liveness: ``{"status": "ok"}``
+
+``update_fn`` (optional) runs before each scrape so point-in-time gauges
+(queue depth, cache entries) can be refreshed lazily instead of on every
+mutation.  ``port=0`` binds an ephemeral port; read :attr:`port` after
+construction.  No third-party dependency — this is the whole serving
+surface a Prometheus scraper or a load balancer's health check needs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from .metrics import MetricsRegistry
+
+CONTENT_TYPE_EXPOSITION = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/stats``, and ``/healthz`` for one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stats_fn: Optional[Callable[[], Dict]] = None,
+        update_fn: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.registry = registry
+        self.stats_fn = stats_fn
+        self.update_fn = update_fn
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # no stderr chatter per scrape
+                pass
+
+            def _send(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        if server.update_fn is not None:
+                            server.update_fn()
+                        body = server.registry.to_prometheus().encode()
+                        self._send(200, CONTENT_TYPE_EXPOSITION, body)
+                    elif path == "/stats":
+                        if server.update_fn is not None:
+                            server.update_fn()
+                        payload = (
+                            server.stats_fn()
+                            if server.stats_fn is not None
+                            else server.registry.to_json()
+                        )
+                        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                        self._send(200, "application/json", body)
+                    elif path == "/healthz":
+                        self._send(200, "application/json", b'{"status": "ok"}\n')
+                    else:
+                        self._send(404, "text/plain; charset=utf-8", b"not found\n")
+                except BrokenPipeError:  # scraper went away mid-response
+                    pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -5,8 +5,21 @@ A :class:`Profiler` accumulates wall-time per named phase (``sampling``,
 ``merge``, ``metrics`` in the evaluator) plus arbitrary counters (triples
 processed, batches, evaluated users), and renders a JSON-safe summary with
 derived throughput.  It is cheap enough to leave on unconditionally —
-overhead is two ``perf_counter`` calls per phase — and a disabled instance
-degrades to no-ops so hot loops never need ``if profiler:`` guards.
+overhead is two ``perf_counter`` calls plus one locked add per phase — and
+a disabled instance degrades to no-ops so hot loops never need
+``if profiler:`` guards.
+
+Since the observability layer landed, the profiler is a *thin view over a*
+:class:`~repro.obs.metrics.MetricsRegistry`: phase seconds, call counts,
+and counters are stored as labelled registry counters
+(``profiler_phase_seconds_total{phase=...}`` etc.), so anything a profiler
+measures is automatically visible on a ``/metrics`` endpoint sharing that
+registry, merges across processes with the registry's snapshot/merge path,
+and is safe under the thread-mode worker pool (every mutation happens
+under the registry lock — the bare-dict read-modify-write race the old
+implementation had is gone).  Pass ``registry=`` to aggregate several
+profilers into one surface; the default is a private registry, preserving
+the historical "each Profiler is isolated" behavior the tests pin.
 
 Used by :class:`repro.train.trainer.Trainer` (surfaced on
 :class:`~repro.train.trainer.TrainResult.profile` and the CLI), by
@@ -22,15 +35,32 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from .obs.metrics import MetricsRegistry
+
+#: registry metric names the profiler writes (one labelled family each)
+PHASE_SECONDS_METRIC = "profiler_phase_seconds_total"
+PHASE_CALLS_METRIC = "profiler_phase_calls_total"
+COUNTER_METRIC = "profiler_events_total"
+
 
 class Profiler:
-    """Accumulates per-phase wall time and named counters."""
+    """Accumulates per-phase wall time and named counters (thread-safe)."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, registry: Optional[MetricsRegistry] = None) -> None:
         self.enabled = enabled
-        self._seconds: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
-        self._counters: Dict[str, float] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._phase_seconds = self.registry.counter(
+            PHASE_SECONDS_METRIC, "Wall seconds accumulated per profiler phase.",
+            labels=("phase",),
+        )
+        self._phase_calls = self.registry.counter(
+            PHASE_CALLS_METRIC, "Times each profiler phase was entered.",
+            labels=("phase",),
+        )
+        self._events = self.registry.counter(
+            COUNTER_METRIC, "Profiler counters (triples, batches, evaluated users...).",
+            labels=("event",),
+        )
 
     # ------------------------------------------------------------------
     # Timing
@@ -46,27 +76,30 @@ class Profiler:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
-            self._calls[name] = self._calls.get(name, 0) + 1
+            self._phase_seconds.labels_key((name,), elapsed)
+            self._phase_calls.labels_key((name,), 1)
 
     def add_seconds(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record externally-measured time under a phase."""
         if not self.enabled:
             return
-        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
-        self._calls[name] = self._calls.get(name, 0) + calls
+        self._phase_seconds.labels_key((name,), float(seconds))
+        self._phase_calls.labels_key((name,), calls)
 
     def seconds(self, name: str) -> float:
         """Total wall time accumulated under ``name`` (0.0 if never entered)."""
-        return self._seconds.get(name, 0.0)
+        return self._phase_seconds.value_for((name,))
+
+    def _phases(self) -> Dict[str, float]:
+        return {labels["phase"]: series.value for labels, series in self._phase_seconds.items()}
 
     def total_seconds(self) -> float:
         """Sum over all phases."""
-        return sum(self._seconds.values())
+        return sum(self._phases().values())
 
     def phase_seconds(self, names) -> float:
         """Sum over a subset of phases (absent phases count as 0)."""
-        return sum(self._seconds.get(name, 0.0) for name in names)
+        return sum(self._phase_seconds.value_for((name,)) for name in names)
 
     # ------------------------------------------------------------------
     # Counters
@@ -75,10 +108,10 @@ class Profiler:
         """Increment a named counter (e.g. ``triples``, ``batches``)."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0.0) + amount
+        self._events.labels_key((name,), amount)
 
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        return self._events.value_for((name,))
 
     def rate(self, counter: str, per: Optional[str] = None) -> float:
         """``counter / seconds`` — against one phase, or total time if ``per`` is None."""
@@ -90,40 +123,42 @@ class Profiler:
     # ------------------------------------------------------------------
     def summary(self) -> Dict:
         """JSON-safe snapshot: per-phase seconds/calls/share, counters, rates."""
-        total = self.total_seconds()
+        seconds = self._phases()
+        calls = {labels["phase"]: series.value for labels, series in self._phase_calls.items()}
+        counters = {labels["event"]: series.value for labels, series in self._events.items()}
+        total = sum(seconds.values())
         phases = {
             name: {
-                "seconds": self._seconds[name],
-                "calls": self._calls.get(name, 0),
-                "share": (self._seconds[name] / total) if total > 0 else 0.0,
+                "seconds": seconds[name],
+                "calls": int(calls.get(name, 0)),
+                "share": (seconds[name] / total) if total > 0 else 0.0,
             }
-            for name in sorted(self._seconds)
+            for name in sorted(seconds)
         }
         summary: Dict = {
             "total_seconds": total,
             "phases": phases,
-            "counters": dict(self._counters),
+            "counters": counters,
         }
-        if "triples" in self._counters and total > 0:
-            summary["triples_per_sec"] = self._counters["triples"] / total
+        if "triples" in counters and total > 0:
+            summary["triples_per_sec"] = counters["triples"] / total
         # Parallel evaluation sums kernel phases across workers (CPU
         # seconds), so throughput is quoted over the wall-clock counter the
         # evaluator records, never over the phase sum.
-        eval_wall = self._counters.get("eval_wall_seconds", 0.0)
-        if "evaluated_users" in self._counters and eval_wall > 0:
-            summary["users_per_sec"] = self._counters["evaluated_users"] / eval_wall
+        eval_wall = counters.get("eval_wall_seconds", 0.0)
+        if "evaluated_users" in counters and eval_wall > 0:
+            summary["users_per_sec"] = counters["evaluated_users"] / eval_wall
         return summary
 
     def format_phases(self) -> str:
         """Compact one-line phase breakdown, e.g. ``sample 12% fwd 41% ...``."""
-        total = self.total_seconds()
+        seconds = self._phases()
+        total = sum(seconds.values())
         if total <= 0:
             return ""
-        return " ".join(
-            f"{name} {self._seconds[name] / total:.0%}" for name in sorted(self._seconds)
-        )
+        return " ".join(f"{name} {seconds[name] / total:.0%}" for name in sorted(seconds))
 
     def reset(self) -> None:
-        self._seconds.clear()
-        self._calls.clear()
-        self._counters.clear()
+        self._phase_seconds.clear()
+        self._phase_calls.clear()
+        self._events.clear()

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.base import ScoreBranch
+from ..obs.trace import Tracer, maybe_span
 from .pool import WorkerPool
 from .sharded import ShardedIndex, _Buffers
 
@@ -101,33 +102,59 @@ def _init_process_worker(spec: Dict) -> None:
     _PROCESS_STATE = _build_state(spec)
 
 
-def _rank_chunk_process(payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict]:
-    chunk_id, ids, scores, timings = _rank_chunk(_PROCESS_STATE, payload)
+def _rank_chunk_process(payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict, Optional[List]]:
+    chunk_id, ids, scores, timings, spans = _rank_chunk(_PROCESS_STATE, payload)
     # Item ids always fit int32 (catalogs are nowhere near 2**31); halving
     # the result payload halves the pickle/IPC cost of the hot direction.
-    return chunk_id, ids.astype(np.int32, copy=False), scores, timings
+    return chunk_id, ids.astype(np.int32, copy=False), scores, timings, spans
 
 
-def _rank_chunk(state: _WorkerState, payload) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict]:
-    chunk_id, users, k, with_scores, candidates = payload
+def _rank_chunk(
+    state: _WorkerState, payload
+) -> Tuple[int, np.ndarray, Optional[np.ndarray], Dict, Optional[List]]:
+    """Rank one chunk; the worker half of the runtime's determinism contract.
+
+    ``payload[5]`` is an optional trace context ``{"trace_id", "parent_id"}``
+    from the parent's tracer.  When present, the chunk records its spans
+    into a worker-local :class:`Tracer` and ships them back as plain dicts
+    in the result tuple — the same pickle path the rankings take — for the
+    parent to fold in with ``Tracer.extend``.  ``perf_counter`` is
+    CLOCK_MONOTONIC on Linux, shared by forked children, so worker span
+    timestamps land on the parent's timeline.
+    """
+    chunk_id, users, k, with_scores, candidates, trace_ctx = payload
     timings: Dict[str, float] = {}
-    if state.ann is not None:
-        import time
+    tracer = Tracer(process_name="runtime-worker") if trace_ctx is not None else None
+    with maybe_span(
+        tracer,
+        "chunk.rank",
+        cat="runtime",
+        trace_id=trace_ctx["trace_id"] if trace_ctx else None,
+        parent_id=trace_ctx["parent_id"] if trace_ctx else None,
+        attrs={"chunk_id": chunk_id, "n_users": len(users)},
+    ):
+        if state.ann is not None:
+            import time
 
-        tick = time.perf_counter()
-        ids, scores = state.ann.search(users, k, exclude_csr=state.exclude_csr)
-        timings["ann_search"] = time.perf_counter() - tick
-        return chunk_id, ids, scores if with_scores else None, timings
-    ids, scores = state.sharded.topk_chunk(
-        users,
-        k,
-        exclude_csr=state.exclude_csr,
-        candidate_items=candidates,
-        buffers=state.buffers(),
-        with_scores=with_scores,
-        timings=timings,
-    )
-    return chunk_id, ids, scores, timings
+            tick = time.perf_counter()
+            ids, scores = state.ann.search(
+                users, k, exclude_csr=state.exclude_csr, tracer=tracer
+            )
+            timings["ann_search"] = time.perf_counter() - tick
+            if not with_scores:
+                scores = None
+        else:
+            ids, scores = state.sharded.topk_chunk(
+                users,
+                k,
+                exclude_csr=state.exclude_csr,
+                candidate_items=candidates,
+                buffers=state.buffers(),
+                with_scores=with_scores,
+                timings=timings,
+            )
+    spans = tracer.records() if tracer is not None else None
+    return chunk_id, ids, scores, timings, spans
 
 
 class BatchRuntime:
@@ -258,6 +285,7 @@ class BatchRuntime:
         with_scores: bool = False,
         candidate_items: Optional[Dict[int, np.ndarray]] = None,
         profiler=None,
+        tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
         """Top-``k`` over the full catalog for every user, in user order.
 
@@ -267,7 +295,10 @@ class BatchRuntime:
         per-user pools (cold-start protocols).  With a ``profiler``, the
         per-chunk ``score`` / ``topk`` / ``merge`` seconds are accumulated
         under those phase names — summed across workers, so in parallel
-        modes they are CPU seconds, not wall time.
+        modes they are CPU seconds, not wall time.  With a ``tracer``, each
+        chunk records a ``chunk.rank`` span (child of this call's
+        ``runtime.rank`` span) in its worker and ships it back over the
+        result path, process mode included.
         """
         users = np.asarray(list(users), dtype=np.int64)
         k = min(int(k), self.n_items)
@@ -283,32 +314,50 @@ class BatchRuntime:
             empty = np.empty((0, k), dtype=np.int64)
             return users, empty, (np.empty((0, k)) if with_scores else None)
 
-        chunk = self.config.user_chunk
-        payloads = []
-        for chunk_id, start in enumerate(range(0, len(users), chunk)):
-            chunk_users = users[start : start + chunk]
-            candidates = None
-            if candidate_items is not None:
-                candidates = [candidate_items.get(int(user)) for user in chunk_users]
-            payloads.append((chunk_id, chunk_users, k, with_scores, candidates))
+        with maybe_span(
+            tracer,
+            "runtime.rank",
+            cat="runtime",
+            attrs={"n_users": len(users), "k": k, "mode": self.mode},
+        ) as rank_span:
+            trace_ctx = None
+            if tracer is not None and tracer.enabled:
+                trace_ctx = {
+                    "trace_id": rank_span.trace_id,
+                    "parent_id": rank_span.span_id,
+                }
 
-        if self._pool.mode == "process":
-            results = self._pool.map(_rank_chunk_process, payloads)
-        else:
-            state = self._state
-            results = self._pool.map(lambda payload: _rank_chunk(state, payload), payloads)
+            chunk = self.config.user_chunk
+            payloads = []
+            for chunk_id, start in enumerate(range(0, len(users), chunk)):
+                chunk_users = users[start : start + chunk]
+                candidates = None
+                if candidate_items is not None:
+                    candidates = [candidate_items.get(int(user)) for user in chunk_users]
+                payloads.append((chunk_id, chunk_users, k, with_scores, candidates, trace_ctx))
 
-        results.sort(key=lambda item: item[0])
-        ids = np.vstack([item[1] for item in results]).astype(np.int64, copy=False)
-        scores = np.vstack([item[2] for item in results]) if with_scores else None
-        if profiler is not None:
-            totals: Dict[str, float] = {}
-            for _, _, _, timings in results:
-                for name, seconds in timings.items():
-                    totals[name] = totals.get(name, 0.0) + seconds
-            for name in EVAL_PHASES:
-                if name in totals:
-                    profiler.add_seconds(name, totals[name])
+            if self._pool.mode == "process":
+                results = self._pool.map(_rank_chunk_process, payloads)
+            else:
+                state = self._state
+                results = self._pool.map(lambda payload: _rank_chunk(state, payload), payloads)
+
+            results.sort(key=lambda item: item[0])
+            ids = np.vstack([item[1] for item in results]).astype(np.int64, copy=False)
+            scores = np.vstack([item[2] for item in results]) if with_scores else None
+            if profiler is not None:
+                totals: Dict[str, float] = {}
+                for _, _, _, timings, _ in results:
+                    for name, seconds in timings.items():
+                        totals[name] = totals.get(name, 0.0) + seconds
+                for name in EVAL_PHASES:
+                    if name in totals:
+                        profiler.add_seconds(name, totals[name])
+                profiler.count("chunks", len(payloads))
+            if tracer is not None:
+                for _, _, _, _, spans in results:
+                    if spans:
+                        tracer.extend(spans)
         return users, ids, scores
 
     def close(self) -> None:
@@ -394,6 +443,7 @@ def recommend_all(
     user_chunk: int = 1024,
     profiler=None,
     ann=None,
+    tracer=None,
 ) -> BulkRecommendations:
     """Bulk top-``k`` export for every warm user (or an explicit user list).
 
@@ -418,7 +468,9 @@ def recommend_all(
     config = RuntimeConfig(workers=workers, mode=mode, shards=shards, user_chunk=user_chunk)
     exclude_csr = (index.exclude_indptr, index.exclude_indices) if exclude_train else None
     with BatchRuntime(index, config, exclude_csr=exclude_csr, ann=ann) as runtime:
-        ordered, ids, scores = runtime.rank(users, k, with_scores=True, profiler=profiler)
+        ordered, ids, scores = runtime.rank(
+            users, k, with_scores=True, profiler=profiler, tracer=tracer
+        )
     # A -inf score means the selection ran past the user's unexcluded pool
     # and padded with masked entries; exporting those ids would recommend
     # already-bought items the online path never emits.  Replace with the

@@ -85,6 +85,7 @@ class WorkerPool:
         initializer: Optional[Callable] = None,
         initargs: Sequence = (),
         initialize_local: bool = False,
+        registry=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -99,6 +100,19 @@ class WorkerPool:
         self._initargs_holder = [tuple(initargs)]
         self._initialize_local = initialize_local
         self.mode = self._resolve(mode)
+        self.registry = registry
+        if registry is not None:
+            self._map_calls = registry.counter(
+                "pool_map_calls_total", "WorkerPool.map invocations, by pool mode.",
+                labels=("mode",),
+            )
+            self._payloads = registry.counter(
+                "pool_payloads_total", "Payloads dispatched, by pool mode.",
+                labels=("mode",),
+            )
+            self._map_seconds = registry.histogram(
+                "pool_map_seconds", "Wall time of one WorkerPool.map call."
+            )
 
     # ------------------------------------------------------------------
     def _resolve(self, mode: str) -> str:
@@ -162,6 +176,14 @@ class WorkerPool:
     def map(self, fn: Callable, payloads: Iterable) -> List:
         """``[fn(p) for p in payloads]``, parallelized, results in order."""
         payloads = list(payloads)
+        if self.registry is not None:
+            self._map_calls.labels_key((self.mode,), 1)
+            self._payloads.labels_key((self.mode,), len(payloads))
+            with self._map_seconds.time():
+                return self._map(fn, payloads)
+        return self._map(fn, payloads)
+
+    def _map(self, fn: Callable, payloads: List) -> List:
         if self.mode == "process":
             return self._pool.map(fn, payloads, chunksize=1)
         if self.mode == "thread":

@@ -43,6 +43,7 @@ import numpy as np
 from ...core.base import ScoreBranch, branches_dtype, score_branches
 from ...data.dataset import expand_csr_rows
 from ...eval.topk import NEG_INF, partition_topk_rows, topk_pairs_rows
+from ...obs.trace import maybe_span
 from ...train import persistence
 from .kmeans import kmeans
 from .quantize import QuantizedBranch, QuantizedIndex, score_quantized_block
@@ -227,6 +228,7 @@ class IVFIndex:
         scorer: str = "exact",
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         candidate_mask: Optional[np.ndarray] = None,
+        tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Two-stage top-``k`` for a batch of users.
 
@@ -255,7 +257,8 @@ class IVFIndex:
         if len(users) == 0:
             return np.empty((0, k), dtype=np.int64), np.empty((0, k), dtype=self.dtype)
 
-        probes = self.probe(users, nprobe)
+        with maybe_span(tracer, "ann.coarse", cat="ann", attrs={"n_users": len(users)}):
+            probes = self.probe(users, nprobe)
         n = len(users)
 
         # Masks apply at the re-rank stage, per probed list, *before* the
@@ -309,6 +312,17 @@ class IVFIndex:
         starts = np.flatnonzero(np.r_[True, sorted_lists[1:] != sorted_lists[:-1]])
         bounds = np.r_[starts, len(sorted_lists)]
 
+        # begin()/finish() rather than a with-block: the loop is long and
+        # an exception mid-fine leaves the span unfinished, which exporters
+        # simply drop.
+        fine_span = (
+            tracer.begin(
+                "ann.fine", cat="ann",
+                attrs={"n_segments": len(starts), "scorer": scorer},
+            )
+            if tracer is not None
+            else None
+        )
         for seg in range(len(starts)):
             lo, hi = bounds[seg], bounds[seg + 1]
             lst = int(sorted_lists[lo])
@@ -361,10 +375,14 @@ class IVFIndex:
             scores[rix, cols] = seg_out_scores
             cursor[rows] += width
 
-        sel = topk_pairs_rows(ids, scores, k)
-        top_ids = np.take_along_axis(ids, sel, axis=1)
-        top_scores = np.take_along_axis(scores, sel, axis=1)
-        top_ids = np.where(top_scores > NEG_INF, top_ids, -1)
+        if fine_span is not None:
+            fine_span.finish()
+
+        with maybe_span(tracer, "ann.merge", cat="ann"):
+            sel = topk_pairs_rows(ids, scores, k)
+            top_ids = np.take_along_axis(ids, sel, axis=1)
+            top_scores = np.take_along_axis(scores, sel, axis=1)
+            top_ids = np.where(top_scores > NEG_INF, top_ids, -1)
         if top_ids.shape[1] < k:  # pool smaller than k: pad to the dense contract
             pad = k - top_ids.shape[1]
             top_ids = np.hstack([top_ids, np.full((n, pad), -1, dtype=np.int64)])

@@ -39,6 +39,7 @@ import numpy as np
 from ...core.base import ScoreBranch, branches_dtype
 from ...data.dataset import expand_csr_rows
 from ...eval.topk import NEG_INF, topk_indices_rows
+from ...obs.trace import maybe_span
 from ...train import persistence
 
 QUANTIZED_KIND = "quantized_index"
@@ -232,6 +233,7 @@ class QuantizedIndex:
         nprobe: Optional[int] = None,
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         candidate_mask: Optional[np.ndarray] = None,
+        tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Full-scan approximate top-``k``; ``nprobe`` is accepted and ignored.
 
@@ -245,15 +247,17 @@ class QuantizedIndex:
             raise ValueError(f"k must be >= 1, got {k}")
         if len(users) == 0:
             return np.empty((0, k), dtype=np.int64), np.empty((0, k), dtype=self.dtype)
-        scores = self.score(users)
-        if candidate_mask is not None:
-            scores[:, ~np.asarray(candidate_mask, dtype=bool)] = NEG_INF
-        if exclude_csr is not None:
-            rows, cols = expand_csr_rows(*exclude_csr, users)
-            if rows is not None:
-                scores[rows, cols] = NEG_INF
-        top = topk_indices_rows(scores, k).astype(np.int64, copy=False)
-        top_scores = np.take_along_axis(scores, top, axis=1)
+        with maybe_span(tracer, "ann.fine", cat="ann", attrs={"scorer": "int8"}):
+            scores = self.score(users)
+            if candidate_mask is not None:
+                scores[:, ~np.asarray(candidate_mask, dtype=bool)] = NEG_INF
+            if exclude_csr is not None:
+                rows, cols = expand_csr_rows(*exclude_csr, users)
+                if rows is not None:
+                    scores[rows, cols] = NEG_INF
+        with maybe_span(tracer, "ann.merge", cat="ann"):
+            top = topk_indices_rows(scores, k).astype(np.int64, copy=False)
+            top_scores = np.take_along_axis(scores, top, axis=1)
         masked = candidate_mask is not None or exclude_csr is not None
         if masked:
             top = np.where(top_scores > NEG_INF, top, -1)

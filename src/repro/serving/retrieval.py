@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..eval.topk import NEG_INF, masked_topk, topk_indices_rows, topk_pairs_rows
+from ..obs.trace import maybe_span
 from .filters import Filter, combine_mask, combine_signature
 from .index import EmbeddingIndex
 
@@ -63,6 +64,7 @@ class RetrievalEngine:
         item_block_size: int = 8192,
         mask_cache_capacity: int = 256,
         ann=None,
+        tracer=None,
     ) -> None:
         if item_block_size < 1:
             raise ValueError(f"item_block_size must be >= 1, got {item_block_size}")
@@ -73,6 +75,7 @@ class RetrievalEngine:
             )
         self.index = index
         self.ann = ann
+        self.tracer = tracer
         self.item_block_size = item_block_size
         self.mask_cache_capacity = mask_cache_capacity
         self._mask_cache: "OrderedDict[Tuple, Tuple[Optional[np.ndarray], np.ndarray]]" = OrderedDict()
@@ -138,12 +141,23 @@ class RetrievalEngine:
         if use_ann:
             if self.ann is None:
                 raise ValueError("use_ann=True but no ANN index is attached")
-            return self._topk_ann(users, k, exclude_train, filters, drop_masked)
-        if self.index.n_items <= self.item_block_size:
-            return self._topk_single_block(
-                users, k, exclude_train, self.candidate_items(filters), drop_masked
+            with maybe_span(
+                self.tracer, "engine.topk", cat="retrieval",
+                attrs={"path": "ann", "n_users": len(users), "k": k},
+            ):
+                return self._topk_ann(users, k, exclude_train, filters, drop_masked)
+        path = "single_block" if self.index.n_items <= self.item_block_size else "blocked"
+        with maybe_span(
+            self.tracer, "engine.topk", cat="retrieval",
+            attrs={"path": path, "n_users": len(users), "k": k},
+        ):
+            if path == "single_block":
+                return self._topk_single_block(
+                    users, k, exclude_train, self.candidate_items(filters), drop_masked
+                )
+            return self._topk_blocked(
+                users, k, exclude_train, self.candidate_mask(filters), drop_masked
             )
-        return self._topk_blocked(users, k, exclude_train, self.candidate_mask(filters), drop_masked)
 
     def topk_from_scores(
         self,
@@ -195,7 +209,7 @@ class RetrievalEngine:
             else None
         )
         ids, scores = self.ann.search(
-            users, k, exclude_csr=exclude_csr, candidate_mask=mask
+            users, k, exclude_csr=exclude_csr, candidate_mask=mask, tracer=self.tracer
         )
         results = []
         for row in range(len(users)):
@@ -267,11 +281,12 @@ class RetrievalEngine:
             block_ids.append(top + start)
             block_scores.append(np.take_along_axis(part, top, axis=1))
 
-        ids = np.hstack(block_ids)
-        values = np.hstack(block_scores)
-        sel = topk_pairs_rows(ids, values, k)
-        merged_items = np.take_along_axis(ids, sel, axis=1)
-        merged_scores = np.take_along_axis(values, sel, axis=1)
+        with maybe_span(self.tracer, "topk.merge", cat="retrieval"):
+            ids = np.hstack(block_ids)
+            values = np.hstack(block_scores)
+            sel = topk_pairs_rows(ids, values, k)
+            merged_items = np.take_along_axis(ids, sel, axis=1)
+            merged_scores = np.take_along_axis(values, sel, axis=1)
 
         results = []
         for row in range(len(users)):

@@ -27,6 +27,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer, maybe_span
 from .fallback import PriceProfileFallback
 from .filters import Filter, combine_signature
 from .index import EmbeddingIndex
@@ -90,6 +92,7 @@ class PendingRecommendation:
         self._request = request
         self._result: Optional[Recommendation] = None
         self._error: Optional[Exception] = None
+        self._span = None  # request span, finished at resolve/fail time
 
     @property
     def done(self) -> bool:
@@ -97,9 +100,13 @@ class PendingRecommendation:
 
     def _resolve(self, result: Recommendation) -> None:
         self._result = result
+        if self._span is not None:
+            self._span.finish(source=result.source, cached=result.cached)
 
     def _fail(self, error: Exception) -> None:
         self._error = error
+        if self._span is not None:
+            self._span.finish(error=type(error).__name__)
 
     def result(self) -> Recommendation:
         if not self.done:
@@ -122,6 +129,8 @@ class RecommenderService:
         item_block_size: int = 8192,
         clock: Optional[Callable[[], float]] = None,
         ann=None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if default_k < 1:
             raise ValueError(f"default_k must be >= 1, got {default_k}")
@@ -129,15 +138,30 @@ class RecommenderService:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self.index = index
         self.item_block_size = item_block_size
-        self.engine = RetrievalEngine(index, item_block_size=item_block_size, ann=ann)
+        self.tracer = tracer
+        self.engine = RetrievalEngine(
+            index, item_block_size=item_block_size, ann=ann, tracer=tracer
+        )
         self.fallback = PriceProfileFallback(index)
         self.default_k = default_k
         self.max_batch_size = max_batch_size
         self.cache_capacity = cache_capacity
         self._clock = clock or time.perf_counter
         self._cache: "OrderedDict[Tuple, Recommendation]" = OrderedDict()
-        self._queue: List[Tuple[Request, PendingRecommendation]] = []
-        self.stats = ServingStats(clock=self._clock)
+        # queue entries: (request, pending, enqueued_at) — the timestamp is
+        # what lets record_batch account queue wait into end-to-end latency
+        self._queue: List[Tuple[Request, PendingRecommendation, float]] = []
+        self.stats = ServingStats(clock=self._clock, registry=registry)
+        self.registry = self.stats.registry
+        # Point-in-time gauges are refreshed by _sync_gauges — called once
+        # per flush and as the metrics server's per-scrape update_fn, never
+        # per request (the submit path is latency-gated by bench_serving).
+        self._queue_depth_gauge = self.registry.gauge(
+            "serving_queue_depth", "Requests currently waiting for a flush."
+        )
+        self._cache_entries_gauge = self.registry.gauge(
+            "serving_cache_entries", "Results held in the LRU cache."
+        )
 
     @property
     def ann(self):
@@ -164,7 +188,9 @@ class RecommenderService:
         """
         self.flush()
         self.index = index
-        self.engine = RetrievalEngine(index, item_block_size=self.item_block_size, ann=ann)
+        self.engine = RetrievalEngine(
+            index, item_block_size=self.item_block_size, ann=ann, tracer=self.tracer
+        )
         self.fallback = PriceProfileFallback(index)
         evicted = len(self._cache)
         self._cache.clear()
@@ -204,9 +230,29 @@ class RecommenderService:
         if request.k < 1:
             raise ValueError(f"k must be >= 1, got {request.k}")
         pending = PendingRecommendation(self, request)
-        self.stats.record_request(warm=self.index.is_warm(request.user))
+        warm = self.index.is_warm(request.user)
+        self.stats.record_request(warm=warm)
+        if self.tracer is not None:
+            pending._span = self.tracer.begin(
+                "request",
+                cat="serving",
+                attrs={"user": request.user, "k": request.k, "warm": warm},
+            )
 
-        cached = self._cache_get(request.cache_key())
+        # The lookup span exists only when there is a cache to look into:
+        # with caching disabled there is no lookup stage in the request
+        # path, and a per-request span for a guaranteed miss would be the
+        # single most expensive no-op on the serving hot path.
+        if self.tracer is not None and self.cache_capacity > 0:
+            with self.tracer.span(
+                "cache.lookup",
+                cat="serving",
+                parent_id=pending._span.span_id if pending._span is not None else None,
+            ) as lookup:
+                cached = self._cache_get(request.cache_key())
+                lookup.set_attr("hit", cached is not None)
+        else:
+            cached = self._cache_get(request.cache_key())
         if cached is not None:
             self.stats.record_cache(hit=True)
             # Hand out copies: callers may mutate their result freely
@@ -223,7 +269,7 @@ class RecommenderService:
             return pending
         self.stats.record_cache(hit=False)
 
-        self._queue.append((request, pending))
+        self._queue.append((request, pending, self._clock()))
         if len(self._queue) >= self.max_batch_size:
             self.flush()
         return pending
@@ -263,83 +309,100 @@ class RecommenderService:
         if not self._queue:
             return 0
         queue, self._queue = self._queue, []
+        self._sync_gauges()
 
-        groups: "OrderedDict[Tuple, List[Tuple[Request, PendingRecommendation]]]" = OrderedDict()
-        for request, pending in queue:
-            groups.setdefault(request.batch_key(), []).append((request, pending))
+        groups: "OrderedDict[Tuple, List[Tuple[Request, PendingRecommendation, float]]]" = OrderedDict()
+        for request, pending, enqueued_at in queue:
+            groups.setdefault(request.batch_key(), []).append((request, pending, enqueued_at))
 
-        for entries in groups.values():
-            warm = [(r, p) for r, p in entries if self.index.is_warm(r.user)]
-            cold = [(r, p) for r, p in entries if not self.index.is_warm(r.user)]
-            if warm:
-                self._run_group(self._answer_warm, warm)
-            if cold:
-                self._run_group(self._answer_cold_group, cold)
+        with maybe_span(
+            self.tracer, "flush", cat="serving", attrs={"n_requests": len(queue)}
+        ):
+            for entries in groups.values():
+                warm = [e for e in entries if self.index.is_warm(e[0].user)]
+                cold = [e for e in entries if not self.index.is_warm(e[0].user)]
+                if warm:
+                    self._run_group(self._answer_warm, warm)
+                if cold:
+                    self._run_group(self._answer_cold_group, cold)
         return len(queue)
 
     @staticmethod
-    def _run_group(answer, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+    def _run_group(answer, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
         """Answer one group; on error, fail its requests instead of raising."""
         try:
             answer(entries)
         except Exception as error:  # noqa: BLE001 - delivered via result()
-            for _, pending in entries:
+            for _, pending, _ in entries:
                 if not pending.done:
                     pending._fail(error)
 
-    def _answer_warm(self, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+    def _answer_warm(self, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
         first = entries[0][0]
-        users = [request.user for request, _ in entries]
+        users = [request.user for request, _, _ in entries]
         began = self._clock()
-        results = self.engine.topk(
-            users,
-            k=first.k,
-            exclude_train=first.exclude_train,
-            filters=first.filters,
-        )
+        with maybe_span(
+            self.tracer, "batch.warm", cat="serving", attrs={"n_requests": len(entries)}
+        ):
+            results = self.engine.topk(
+                users,
+                k=first.k,
+                exclude_train=first.exclude_train,
+                filters=first.filters,
+            )
         self.stats.record_batch(
             n_requests=len(entries),
             n_items_scored=len(entries) * self.index.n_items,
             seconds=self._clock() - began,
+            queue_waits=[began - enqueued_at for _, _, enqueued_at in entries],
         )
-        for (request, pending), result in zip(entries, results):
+        for (request, pending, _), result in zip(entries, results):
             answer = Recommendation(
                 user=request.user, items=result.items, scores=result.scores, source=WARM
             )
             self._cache_put(request.cache_key(), answer)
             pending._resolve(answer)
 
-    def _answer_cold_group(self, entries: List[Tuple[Request, PendingRecommendation]]) -> None:
+    def _answer_cold_group(
+        self, entries: List[Tuple[Request, PendingRecommendation, float]]
+    ) -> None:
         """Answer cold requests, computing each profile's score vector once.
 
         Fallback scores depend only on the price profile (and the frozen
         index), so requests sharing a profile — in particular the common
         no-profile case — share one scoring pass.
         """
-        by_profile: "OrderedDict[Optional[Tuple], List[Tuple[Request, PendingRecommendation]]]" = OrderedDict()
-        for request, pending in entries:
+        by_profile: "OrderedDict[Optional[Tuple], List[Tuple[Request, PendingRecommendation, float]]]" = OrderedDict()
+        for request, pending, enqueued_at in entries:
             key = None if request.price_profile is None else tuple(request.price_profile)
-            by_profile.setdefault(key, []).append((request, pending))
+            by_profile.setdefault(key, []).append((request, pending, enqueued_at))
 
         for profile_entries in by_profile.values():
             began = self._clock()
-            scores = self.fallback.scores(profile_entries[0][0].price_profile)
-            for request, pending in profile_entries:
-                exclude = None
-                if request.exclude_train and 0 <= request.user < self.index.n_users:
-                    exclude = self.index.excluded_items(request.user)
-                result = self.engine.topk_from_scores(
-                    scores, k=request.k, exclude_items=exclude, filters=request.filters
-                )
-                answer = Recommendation(
-                    user=request.user, items=result.items, scores=result.scores, source=COLD
-                )
-                self._cache_put(request.cache_key(), answer)
-                pending._resolve(answer)
+            with maybe_span(
+                self.tracer,
+                "batch.cold",
+                cat="serving",
+                attrs={"n_requests": len(profile_entries)},
+            ):
+                scores = self.fallback.scores(profile_entries[0][0].price_profile)
+                for request, pending, _ in profile_entries:
+                    exclude = None
+                    if request.exclude_train and 0 <= request.user < self.index.n_users:
+                        exclude = self.index.excluded_items(request.user)
+                    result = self.engine.topk_from_scores(
+                        scores, k=request.k, exclude_items=exclude, filters=request.filters
+                    )
+                    answer = Recommendation(
+                        user=request.user, items=result.items, scores=result.scores, source=COLD
+                    )
+                    self._cache_put(request.cache_key(), answer)
+                    pending._resolve(answer)
             self.stats.record_batch(
                 n_requests=len(profile_entries),
                 n_items_scored=self.index.n_items,
                 seconds=self._clock() - began,
+                queue_waits=[began - enqueued_at for _, _, enqueued_at in profile_entries],
             )
 
     # ------------------------------------------------------------------
@@ -391,3 +454,7 @@ class RecommenderService:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def _sync_gauges(self) -> None:
+        self._queue_depth_gauge.set(len(self._queue))
+        self._cache_entries_gauge.set(len(self._cache))

@@ -1,86 +1,203 @@
 """Serving-side observability: latency percentiles, QPS, cache hit rate.
 
-Pure in-process counters — no clock is consulted unless the service records
-into them, and the clock itself is injectable for deterministic tests.
+Since the observability layer landed, :class:`ServingStats` is backed by a
+:class:`~repro.obs.metrics.MetricsRegistry` — every count and latency the
+service records lands in named registry series (``serving_requests_total``,
+``serving_request_latency_seconds``, ...) so a ``/metrics`` endpoint or a
+cross-process merge sees exactly what :meth:`ServingStats.snapshot` reports.
+The snapshot keys themselves are unchanged: dashboards and the CLI keep
+reading the same 13 fields they always have.
+
+Latency is now **end-to-end**: a request's recorded latency is its queue
+wait (submit → flush) plus its batch compute time, so p50/p99 reflect what
+a caller actually experienced.  The compute-only and wait-only views are
+preserved as separate histograms (``serving_batch_duration_seconds``,
+``serving_queue_wait_seconds``) and surfaced by
+:meth:`ServingStats.extended_snapshot`.
+
+No clock is consulted unless the service records into these counters, and
+the clock itself is injectable for deterministic tests.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 
 class LatencyRecorder:
-    """Sliding window of request latencies (seconds) with percentiles."""
+    """Sliding window of request latencies (seconds) with percentiles.
+
+    The window gives *exact* percentiles over the last N requests — the
+    complement to the registry histogram's mergeable-but-bucketed view.
+    Percentile and mean results are cached until the next :meth:`record`,
+    so a scrape loop hitting ``snapshot()`` repeatedly costs O(1) per
+    scrape instead of rebuilding an O(window) numpy array every call.
+    """
 
     def __init__(self, window: int = 8192) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._samples: deque = deque(maxlen=window)
+        self._array: Optional[np.ndarray] = None
+        self._percentiles: Dict[float, float] = {}
+        self._mean: Optional[float] = None
 
     def record(self, seconds: float) -> None:
         self._samples.append(float(seconds))
+        self._array = None
+        self._percentiles.clear()
+        self._mean = None
 
     def __len__(self) -> int:
         return len(self._samples)
+
+    def _values(self) -> np.ndarray:
+        # Insertion order is preserved so the cached mean is bit-identical
+        # to a fresh np.mean over the deque (pairwise summation is
+        # order-sensitive in the last ulp).
+        if self._array is None:
+            self._array = np.fromiter(self._samples, dtype=np.float64)
+        return self._array
 
     def percentile(self, q: float) -> float:
         """q-th percentile latency in seconds (0 when nothing recorded)."""
         if not self._samples:
             return 0.0
-        return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
+        cached = self._percentiles.get(q)
+        if cached is None:
+            cached = self._percentiles[q] = float(np.percentile(self._values(), q))
+        return cached
 
     def mean(self) -> float:
         if not self._samples:
             return 0.0
-        return float(np.mean(np.fromiter(self._samples, dtype=np.float64)))
+        if self._mean is None:
+            self._mean = float(np.mean(self._values()))
+        return self._mean
 
 
 class ServingStats:
-    """Counters the :class:`~repro.serving.service.RecommenderService` keeps."""
+    """Counters the :class:`~repro.serving.service.RecommenderService` keeps.
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None, window: int = 8192) -> None:
+    All counts live in the attached registry (shared with ``/metrics`` when
+    the caller passes one in); the historical attribute API (``requests``,
+    ``cache_hits``...) is preserved as read-only properties over it.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        window: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._clock = clock or time.perf_counter
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.started_at = self._clock()
-        self.requests = 0
-        self.warm_requests = 0
-        self.cold_requests = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batches = 0
-        self.items_scored = 0
         self.latency = LatencyRecorder(window=window)
+        self._requests = self.registry.counter(
+            "serving_requests_total", "Requests submitted, by scenario route.",
+            labels=("route",),
+        )
+        self._cache_lookups = self.registry.counter(
+            "serving_cache_lookups_total", "Result-cache lookups, by outcome.",
+            labels=("result",),
+        )
+        self._batches = self.registry.counter(
+            "serving_batches_total", "Micro-batches executed."
+        )
+        self._items_scored = self.registry.counter(
+            "serving_items_scored_total", "Items scored across all batches."
+        )
+        self._latency_hist = self.registry.histogram(
+            "serving_request_latency_seconds",
+            "End-to-end request latency (queue wait + batch compute).",
+        )
+        self._batch_duration = self.registry.histogram(
+            "serving_batch_duration_seconds", "Compute time of one micro-batch flush."
+        )
+        self._queue_wait = self.registry.histogram(
+            "serving_queue_wait_seconds", "Time a request spent queued before its flush."
+        )
 
     # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record_request(self, warm: bool) -> None:
-        self.requests += 1
-        if warm:
-            self.warm_requests += 1
-        else:
-            self.cold_requests += 1
+        self._requests.labels_key(("warm" if warm else "cold",), 1)
 
     def record_cache(self, hit: bool) -> None:
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        self._cache_lookups.labels_key(("hit" if hit else "miss",), 1)
 
-    def record_batch(self, n_requests: int, n_items_scored: int, seconds: float) -> None:
+    def record_batch(
+        self,
+        n_requests: int,
+        n_items_scored: int,
+        seconds: float,
+        queue_waits: Optional[Sequence[float]] = None,
+    ) -> None:
         """Account one executed batch.
 
         Every request in a batch completes when the batch does, so each one
         records the full batch duration as its latency — percentiles then
         reflect real completion times (tail batches show up in p99) rather
-        than an averaged-down ``seconds / n``.  Queue wait before the flush
-        is not included.  Throughput is tracked separately via :meth:`qps`.
+        than an averaged-down ``seconds / n``.  ``queue_waits`` carries each
+        request's time spent queued before the flush; it is added to that
+        request's latency so p50/p99 are **end-to-end**, and recorded
+        separately so the wait-only distribution stays visible.  Callers
+        without wait information (e.g. direct benchmarks) omit it and get
+        the historical compute-only behavior.
         """
-        self.batches += 1
-        self.items_scored += n_items_scored
-        for _ in range(n_requests):
-            self.latency.record(seconds)
+        self._batches.inc()
+        self._items_scored.inc(n_items_scored)
+        self._batch_duration.observe(seconds)
+        if queue_waits is None:
+            queue_waits = [0.0] * n_requests
+        elif len(queue_waits) != n_requests:
+            raise ValueError(
+                f"queue_waits has {len(queue_waits)} entries for {n_requests} requests"
+            )
+        for wait in queue_waits:
+            end_to_end = seconds + max(float(wait), 0.0)
+            self.latency.record(end_to_end)
+            self._latency_hist.observe(end_to_end)
+            self._queue_wait.observe(max(float(wait), 0.0))
+
+    # ------------------------------------------------------------------
+    # Reading (historical attribute API, now registry-backed)
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value(route="warm") + self._requests.value(route="cold"))
+
+    @property
+    def warm_requests(self) -> int:
+        return int(self._requests.value(route="warm"))
+
+    @property
+    def cold_requests(self) -> int:
+        return int(self._requests.value(route="cold"))
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_lookups.value(result="hit"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_lookups.value(result="miss"))
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value())
+
+    @property
+    def items_scored(self) -> int:
+        return int(self._items_scored.value())
 
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
@@ -94,7 +211,7 @@ class ServingStats:
         return self.cache_hits / looked_up if looked_up else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """One flat dict for logging/dashboards."""
+        """One flat dict for logging/dashboards (keys are stable API)."""
         return {
             "requests": float(self.requests),
             "warm_requests": float(self.warm_requests),
@@ -110,3 +227,18 @@ class ServingStats:
             "latency_mean_ms": self.latency.mean() * 1e3,
             "elapsed_s": self.elapsed(),
         }
+
+    def extended_snapshot(self) -> Dict[str, float]:
+        """:meth:`snapshot` plus the queue-wait / compute-only breakdown."""
+        out = self.snapshot()
+        out.update(
+            {
+                "queue_wait_p50_ms": self._queue_wait.percentile(50) * 1e3,
+                "queue_wait_p99_ms": self._queue_wait.percentile(99) * 1e3,
+                "queue_wait_mean_ms": self._queue_wait.mean() * 1e3,
+                "batch_duration_p50_ms": self._batch_duration.percentile(50) * 1e3,
+                "batch_duration_p99_ms": self._batch_duration.percentile(99) * 1e3,
+                "batch_duration_mean_ms": self._batch_duration.mean() * 1e3,
+            }
+        )
+        return out

@@ -111,13 +111,19 @@ class Trainer:
         model: Recommender,
         dataset: Dataset,
         config: Optional[TrainConfig] = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self.model = model
         self.dataset = dataset
         self.config = config or TrainConfig()
         self._rng = np.random.default_rng(self.config.seed)
-        #: populated by :meth:`fit`; inspectable afterwards
-        self.profiler = Profiler()
+        #: populated by :meth:`fit`; inspectable afterwards.  Passing a
+        #: ``registry`` surfaces the phase counters on a shared /metrics
+        #: endpoint; a ``tracer`` records one span per epoch and per
+        #: validation pass.
+        self.profiler = Profiler(registry=registry)
+        self.tracer = tracer
         #: one batch runtime reused across every validation pass of a fit
         #: (pool startup is paid once, not per epoch); see :meth:`_validate`
         self._eval_runtime = None
@@ -142,21 +148,27 @@ class Trainer:
         best_state = None
         bad_evals = 0
 
+        from ..obs.trace import maybe_span
+
         try:
             for epoch in range(1, config.epochs + 1):
                 self.model.train()
                 epoch_loss, n_batches, epoch_triples = 0.0, 0, 0
                 epoch_start = time.perf_counter()
                 batches = sampler.epoch_batches(config.batch_size)
-                while True:
-                    with profiler.phase("sampling"):
-                        batch = next(batches, None)
-                    if batch is None:
-                        break
-                    users, pos_items, neg_items = batch
-                    epoch_loss += self._step(optimizer, users, pos_items, neg_items)
-                    n_batches += 1
-                    epoch_triples += len(users)
+                with maybe_span(
+                    self.tracer, "train.epoch", cat="train", attrs={"epoch": epoch}
+                ) as epoch_span:
+                    while True:
+                        with profiler.phase("sampling"):
+                            batch = next(batches, None)
+                        if batch is None:
+                            break
+                        users, pos_items, neg_items = batch
+                        epoch_loss += self._step(optimizer, users, pos_items, neg_items)
+                        n_batches += 1
+                        epoch_triples += len(users)
+                    epoch_span.set_attr("n_batches", n_batches)
                 schedule.step()
                 epoch_seconds = time.perf_counter() - epoch_start
                 profiler.count("triples", epoch_triples)
@@ -173,8 +185,11 @@ class Trainer:
                     )
 
                 if config.eval_every and epoch % config.eval_every == 0:
-                    with profiler.phase("validate"):
-                        metrics = self._validate()
+                    with maybe_span(
+                        self.tracer, "train.validate", cat="train", attrs={"epoch": epoch}
+                    ):
+                        with profiler.phase("validate"):
+                            metrics = self._validate()
                     result.validation_history.append(metrics)
                     metric = metrics[f"Recall@{config.eval_k}"]
                     if metric > result.best_metric:
@@ -272,7 +287,8 @@ class Trainer:
         branches = _export_branches(self.model)
         if branches is None:
             return evaluate(
-                self.model, self.dataset, split="validation", ks=(config.eval_k,)
+                self.model, self.dataset, split="validation", ks=(config.eval_k,),
+                tracer=self.tracer,
             )
         if self._eval_runtime is None:
             self._eval_runtime = BatchRuntime(
@@ -292,11 +308,16 @@ class Trainer:
             split="validation",
             ks=(config.eval_k,),
             runtime=self._eval_runtime,
+            tracer=self.tracer,
         )
 
 
 def train_model(
-    model: Recommender, dataset: Dataset, config: Optional[TrainConfig] = None
+    model: Recommender,
+    dataset: Dataset,
+    config: Optional[TrainConfig] = None,
+    registry=None,
+    tracer=None,
 ) -> TrainResult:
     """Convenience one-liner used by examples and benchmarks."""
-    return Trainer(model, dataset, config).fit()
+    return Trainer(model, dataset, config, registry=registry, tracer=tracer).fit()

@@ -1,0 +1,288 @@
+"""Metrics registry: primitives, thread safety, merge laws, exposition."""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    log_buckets,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labels_are_independent_series(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total", labels=("route",))
+        c.labels(route="warm").inc(3)
+        c.labels(route="cold").inc()
+        assert c.value(route="warm") == 3
+        assert c.value(route="cold") == 1
+
+    def test_unseen_series_reads_zero(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total", labels=("route",))
+        assert c.value(route="never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labelled_metric_requires_labels(self):
+        c = MetricsRegistry().counter("n", labels=("route",))
+        with pytest.raises(ValueError, match="labels"):
+            c.inc()
+
+    def test_wrong_label_names_rejected(self):
+        c = MetricsRegistry().counter("n", labels=("route",))
+        with pytest.raises(ValueError):
+            c.labels(nope="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a", labels=("x",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("a", labels=("y",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad-name")
+
+    def test_thread_safety_counter_no_lost_updates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("n", labels=("t",))
+
+        def work(tag):
+            for _ in range(2000):
+                c.labels(t=tag).inc()
+                c.labels(t="shared").inc()
+
+        threads = [threading.Thread(target=work, args=(str(i),)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(t="shared") == 8 * 2000
+        assert all(c.value(t=str(i)) == 2000 for i in range(8))
+
+
+class TestHistogram:
+    def test_buckets_are_log_spaced_and_fixed(self):
+        bounds = log_buckets(1e-6, 1e2, per_decade=4)
+        assert bounds == DEFAULT_BUCKETS
+        ratios = [b2 / b1 for b1, b2 in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** 0.25, rel=1e-9) for r in ratios)
+
+    def test_count_sum_mean(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(0.006)
+        assert h.mean() == pytest.approx(0.002)
+
+    def test_percentile_single_sample_exact(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.0123)
+        # clamped to observed min == max, so the estimate is the sample
+        assert h.percentile(50) == pytest.approx(0.0123)
+        assert h.percentile(99) == pytest.approx(0.0123)
+
+    def test_percentile_error_bounded_by_bucket_width(self):
+        h = MetricsRegistry().histogram("lat")
+        rng = np.random.default_rng(0)
+        samples = 10 ** rng.uniform(-4, 0, size=5000)  # 0.1ms .. 1s
+        for v in samples:
+            h.observe(float(v))
+        for q in (50, 90, 99):
+            exact = float(np.percentile(samples, q))
+            estimate = h.percentile(q)
+            # one bucket spans a factor of 10**0.25 ~ 1.78
+            assert exact / 1.78 <= estimate <= exact * 1.78
+
+    def test_percentile_empty_is_zero(self):
+        assert MetricsRegistry().histogram("lat").percentile(50) == 0.0
+
+    def test_overflow_bucket(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.count() == 1
+        assert h.percentile(50) == pytest.approx(100.0)  # clamped to max
+
+    def test_timer_uses_injected_clock(self):
+        ticks = iter([10.0, 12.5])
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        h = registry.histogram("op_seconds")
+        with h.time():
+            pass
+        assert h.sum() == pytest.approx(2.5)
+        assert h.count() == 1
+
+
+class TestMerge:
+    def _observe_all(self, values):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        for v in values:
+            h.observe(v)
+        return registry
+
+    def test_merge_equals_observing_everything(self):
+        rng = np.random.default_rng(1)
+        values = 10 ** rng.uniform(-5, 1, size=300)
+        parts = np.array_split(values, 5)
+
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge(self._observe_all(part).to_json())
+        reference = self._observe_all(values)
+
+        h_merged = merged.get("lat")
+        h_ref = reference.get("lat")
+        assert h_merged.count() == h_ref.count()
+        assert h_merged.sum() == pytest.approx(h_ref.sum())
+        for q in (50, 90, 99):
+            assert h_merged.percentile(q) == pytest.approx(h_ref.percentile(q))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_associative_and_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        chunks = [10 ** rng.uniform(-5, 1, size=rng.integers(1, 40)) for _ in range(4)]
+        a, b, c, d = [self._observe_all(chunk).to_json() for chunk in chunks]
+
+        # (a + b) + (c + d)  ==  d + (c + (b + a))
+        left = MetricsRegistry()
+        for snap in (a, b, c, d):
+            left.merge(snap)
+        right = MetricsRegistry()
+        for snap in (d, c, b, a):
+            right.merge(snap)
+
+        hl, hr = left.get("lat"), right.get("lat")
+        assert hl.count() == hr.count()
+        assert hl.sum() == pytest.approx(hr.sum())
+        series_l = hl.items()[0][1]
+        series_r = hr.items()[0][1]
+        assert series_l.counts == series_r.counts
+        assert series_l.min == series_r.min
+        assert series_l.max == series_r.max
+
+    def test_merge_counters_and_gauges(self):
+        a = MetricsRegistry()
+        a.counter("n", labels=("k",)).labels(k="x").inc(2)
+        a.gauge("depth").set(7)
+        b = MetricsRegistry()
+        b.merge(a.to_json())
+        b.merge(a.to_json())
+        assert b.get("n").value(k="x") == 4  # counters add
+        assert b.get("depth").value() == 7  # gauges take the value
+
+    def test_merge_rejects_different_bucket_layouts(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(1.0, 2.0, 4.0)).observe(1.5)
+        with pytest.raises(ValueError, match="bucket|layouts"):
+            b.merge(a.to_json())
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("n", "help text", labels=("k",)).labels(k="x").inc()
+        registry.histogram("lat").observe(0.5)
+        round_tripped = json.loads(json.dumps(registry.to_json()))
+        other = MetricsRegistry()
+        other.merge(round_tripped)
+        assert other.get("n").value(k="x") == 1
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Total requests.", labels=("route",)).labels(
+            route="warm"
+        ).inc(3)
+        registry.gauge("depth", "Queue depth.").set(2)
+        text = registry.to_prometheus()
+        assert "# HELP requests_total Total requests." in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{route="warm"} 3.0' in text
+        assert "# TYPE depth gauge" in text
+
+    def test_histogram_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            h.observe(v)
+        samples = parse_prometheus(registry.to_prometheus())
+        assert samples[("lat_bucket", (("le", "1.0"),))] == 1
+        assert samples[("lat_bucket", (("le", "2.0"),))] == 2
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("lat_count", ())] == 3
+        assert samples[("lat_sum", ())] == pytest.approx(101.0)
+
+    def test_round_trip_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", labels=("k",)).labels(k='we"ird\\val').inc(5)
+        registry.histogram("h").observe(0.25)
+        samples = parse_prometheus(registry.to_prometheus())
+        assert samples[("a_total", (("k", 'we"ird\\val'),))] == 5
+        total = [v for (name, _), v in samples.items() if name == "h_count"]
+        assert total == [1]
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("this is not exposition format\n")
+
+    def test_parser_handles_inf_and_comments(self):
+        samples = parse_prometheus("# a comment\n\nx_bucket{le=\"+Inf\"} 4\n")
+        assert samples[("x_bucket", (("le", "+Inf"),))] == 4
+
+    def test_exposition_always_reparses(self):
+        # property: whatever the registry holds, its exposition is parseable
+        registry = MetricsRegistry()
+        registry.counter("c_total", "with\nnewline help").inc()
+        registry.histogram("h", labels=("stage",)).labels(stage="fine").observe(0.1)
+        registry.gauge("g").set(-3.5)
+        samples = parse_prometheus(registry.to_prometheus())
+        assert samples[("g", ())] == -3.5
+        assert math.isfinite(samples[("c_total", ())])

@@ -1,0 +1,85 @@
+"""Profiler thread-safety regression: concurrent phases/counters lose nothing.
+
+The pre-observability Profiler accumulated into bare dicts with
+read-modify-write (`self._seconds[name] = self._seconds.get(name, 0.0) + s`),
+which silently lost updates under the thread-mode worker pool.  The
+registry-backed Profiler mutates under the registry lock; these tests pin
+that exact totals survive heavy contention.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.profiling import Profiler
+
+N_THREADS = 8
+N_ITERS = 2000
+
+
+def _hammer(fn):
+    threads = [threading.Thread(target=fn, args=(i,)) for i in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestProfilerThreadSafety:
+    def test_concurrent_add_seconds_exact_total(self):
+        profiler = Profiler()
+
+        def work(_tag):
+            for _ in range(N_ITERS):
+                profiler.add_seconds("score", 0.001)
+                profiler.add_seconds("merge", 0.002)
+
+        _hammer(work)
+        assert profiler.seconds("score") == pytest.approx(N_THREADS * N_ITERS * 0.001)
+        assert profiler.seconds("merge") == pytest.approx(N_THREADS * N_ITERS * 0.002)
+        assert profiler.summary()["phases"]["score"]["calls"] == N_THREADS * N_ITERS
+
+    def test_concurrent_counters_exact_total(self):
+        profiler = Profiler()
+
+        def work(tag):
+            for _ in range(N_ITERS):
+                profiler.count("triples", 3)
+                profiler.count(f"worker_{tag}")
+
+        _hammer(work)
+        assert profiler.counter("triples") == N_THREADS * N_ITERS * 3
+        for tag in range(N_THREADS):
+            assert profiler.counter(f"worker_{tag}") == N_ITERS
+
+    def test_concurrent_phase_context_manager(self):
+        profiler = Profiler()
+
+        def work(_tag):
+            for _ in range(200):
+                with profiler.phase("fwd"):
+                    pass
+
+        _hammer(work)
+        assert profiler.summary()["phases"]["fwd"]["calls"] == N_THREADS * 200
+        assert profiler.seconds("fwd") > 0
+
+    def test_shared_registry_aggregates_two_profilers(self):
+        registry = MetricsRegistry()
+        a = Profiler(registry=registry)
+        b = Profiler(registry=registry)
+        a.add_seconds("score", 1.0)
+        b.add_seconds("score", 2.0)
+        # both views read the same series
+        assert a.seconds("score") == pytest.approx(3.0)
+        assert b.seconds("score") == pytest.approx(3.0)
+
+    def test_profiler_metrics_visible_on_registry_exposition(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        profiler.add_seconds("score", 0.5)
+        profiler.count("triples", 10)
+        text = registry.to_prometheus()
+        assert 'profiler_phase_seconds_total{phase="score"} 0.5' in text
+        assert 'profiler_events_total{event="triples"} 10.0' in text

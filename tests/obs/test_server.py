@@ -1,0 +1,81 @@
+"""MetricsServer: live /metrics, /stats, /healthz over a registry."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.server import MetricsServer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("serving_requests_total", "Requests.", labels=("route",)).labels(
+        route="warm"
+    ).inc(5)
+    registry.histogram("serving_request_latency_seconds", "Latency.").observe(0.004)
+    return registry
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestMetricsServer:
+    def test_metrics_endpoint_serves_parseable_exposition(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            status, content_type, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        samples = parse_prometheus(body.decode())
+        assert samples[("serving_requests_total", (("route", "warm"),))] == 5
+        assert ("serving_request_latency_seconds_count", ()) in samples
+
+    def test_stats_endpoint_default_json(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            status, content_type, body = _get(server.url("/stats"))
+        assert status == 200 and content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["serving_requests_total"]["type"] == "counter"
+
+    def test_stats_endpoint_custom_fn(self, registry):
+        with MetricsServer(registry, port=0, stats_fn=lambda: {"qps": 12.5}) as server:
+            _, _, body = _get(server.url("/stats"))
+        assert json.loads(body) == {"qps": 12.5}
+
+    def test_healthz(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_unknown_route_404(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url("/nope"))
+            assert excinfo.value.code == 404
+
+    def test_update_fn_runs_before_each_scrape(self, registry):
+        calls = []
+        gauge = registry.gauge("depth")
+
+        def refresh():
+            calls.append(1)
+            gauge.set(len(calls))
+
+        with MetricsServer(registry, port=0, update_fn=refresh) as server:
+            _get(server.url("/metrics"))
+            _, _, body = _get(server.url("/metrics"))
+        samples = parse_prometheus(body.decode())
+        assert samples[("depth", ())] == 2
+
+    def test_ephemeral_port_is_reported(self, registry):
+        server = MetricsServer(registry, port=0)
+        try:
+            assert server.port > 0
+        finally:
+            server.stop()

@@ -1,0 +1,131 @@
+"""Cross-process observability: worker spans ship back and merge at parent.
+
+The contract: a traced ``BatchRuntime.rank`` produces one ``runtime.rank``
+span plus one ``chunk.rank`` span per dispatched chunk, linked
+parent→child — and that structure is identical (span names, counts,
+linkage) whether the chunks ran serially, on threads, or in worker
+processes, because process-mode spans ride home on the same pickle path as
+the rankings.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.profiling import Profiler
+from repro.runtime import BatchRuntime, RuntimeConfig
+from repro.runtime.pool import WorkerPool
+from repro.serving import export_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=50, n_items=90, n_categories=4, n_price_levels=4,
+        interactions_per_user=8, seed=23,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=8, category_dim=4, rng=np.random.default_rng(3))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, model, index
+
+
+def _rank_with_tracer(index, users, mode, workers):
+    tracer = Tracer(process_name="test-parent")
+    config = RuntimeConfig(workers=workers, mode=mode, user_chunk=16)
+    with BatchRuntime(index, config) as runtime:
+        runtime.rank(users, k=5, tracer=tracer)
+    return tracer, runtime
+
+
+class TestSpanAggregation:
+    def test_serial_rank_records_rank_and_chunk_spans(self, setup):
+        _, _, index = setup
+        users = np.arange(40)
+        tracer, _ = _rank_with_tracer(index, users, mode="serial", workers=0)
+        records = tracer.records()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["runtime.rank"]) == 1
+        assert len(by_name["chunk.rank"]) == 3  # 40 users / 16 per chunk
+        rank_id = by_name["runtime.rank"][0]["span_id"]
+        for chunk in by_name["chunk.rank"]:
+            assert chunk["parent_id"] == rank_id
+
+    def test_process_mode_ships_worker_spans_back(self, setup):
+        _, _, index = setup
+        users = np.arange(48)
+        tracer, runtime = _rank_with_tracer(index, users, mode="process", workers=3)
+        if runtime.mode != "process":
+            pytest.skip("process pool unavailable in this sandbox")
+        records = tracer.records()
+        chunks = [r for r in records if r["name"] == "chunk.rank"]
+        assert len(chunks) == 3
+        rank_id = next(r for r in records if r["name"] == "runtime.rank")["span_id"]
+        assert all(c["parent_id"] == rank_id for c in chunks)
+        # worker spans carry the worker's pid, not the parent's
+        assert all(c["pid"] != os.getpid() for c in chunks)
+        # every chunk id arrived exactly once
+        assert sorted(c["attrs"]["chunk_id"] for c in chunks) == [0, 1, 2]
+
+    def test_span_structure_identical_across_modes(self, setup):
+        _, _, index = setup
+        users = np.arange(32)
+
+        def shape(mode, workers):
+            tracer, runtime = _rank_with_tracer(index, users, mode=mode, workers=workers)
+            names = sorted(r["name"] for r in tracer.records())
+            return names, runtime.mode
+
+        serial_names, _ = shape("serial", 0)
+        thread_names, _ = shape("thread", 2)
+        process_names, process_mode = shape("process", 2)
+        assert thread_names == serial_names
+        if process_mode == "process":
+            assert process_names == serial_names
+
+    def test_untraced_rank_records_nothing(self, setup):
+        _, _, index = setup
+        with BatchRuntime(index, RuntimeConfig(user_chunk=16)) as runtime:
+            runtime.rank(np.arange(20), k=5)  # no tracer: must not raise
+
+    def test_disabled_tracer_ships_no_spans(self, setup):
+        _, _, index = setup
+        tracer = Tracer(enabled=False)
+        with BatchRuntime(index, RuntimeConfig(user_chunk=16)) as runtime:
+            runtime.rank(np.arange(20), k=5, tracer=tracer)
+        assert len(tracer) == 0
+
+
+class TestMetricAggregation:
+    def test_profiler_timings_merge_across_process_workers(self, setup):
+        _, _, index = setup
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        config = RuntimeConfig(workers=3, mode="process", user_chunk=16)
+        with BatchRuntime(index, config) as runtime:
+            runtime.rank(np.arange(48), k=5, profiler=profiler)
+        # worker-side kernel seconds landed in the parent's registry
+        assert profiler.seconds("score") > 0
+        assert profiler.seconds("topk") > 0
+        assert profiler.counter("chunks") == 3
+        assert registry.get("profiler_phase_seconds_total").value(phase="score") > 0
+
+    def test_pool_registry_counts_dispatches(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(workers=0, registry=registry)
+        try:
+            assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+            assert pool.map(lambda x: x, [7]) == [7]
+        finally:
+            pool.close()
+        assert registry.get("pool_map_calls_total").value(mode="serial") == 2
+        assert registry.get("pool_payloads_total").value(mode="serial") == 4
+        assert registry.get("pool_map_seconds").count() == 2
