@@ -1,15 +1,18 @@
 """CI gate for the live observability surface.
 
-Launches ``repro serve --metrics-port 0 --hold --trace-out ...`` against an
-artifact directory, then validates everything the endpoint promises:
+Launches ``repro serve --gateway --metrics-port 0 --hold --trace-out ...``
+against an artifact directory, then validates everything the endpoint
+promises:
 
 * ``/healthz`` answers,
 * ``/metrics`` is strictly Prometheus-parseable
   (:func:`repro.obs.parse_prometheus`) and contains every core serving
-  series,
+  series plus every gateway family (the gateway pre-seeds its label
+  series, so shed/flush-trigger families are scrapeable from request one),
 * ``/stats`` is JSON with the stable :meth:`ServingStats.snapshot` keys,
 * the written Chrome trace is valid trace-event JSON holding one complete
-  span tree per served request.
+  span tree per served request, including the ``gateway.admit`` /
+  ``gateway.batch`` spans the gateway wraps around admission and flushes.
 
 Any violation exits non-zero, which is the CI failure.
 
@@ -43,6 +46,17 @@ REQUIRED_FAMILIES = (
     "serving_cache_entries",
 )
 
+#: gateway families (``repro serve --gateway``); the gateway pre-seeds the
+#: shed-reason and flush-trigger series with zeros so every family appears
+#: even on a run where nothing was shed
+GATEWAY_FAMILIES = (
+    "gateway_requests_total",
+    "gateway_shed_total",
+    "gateway_flushes_total",
+    "gateway_batch_size",
+    "gateway_queue_depth",
+)
+
 #: snapshot keys /stats must carry (the stable ServingStats surface)
 REQUIRED_STATS_KEYS = (
     "requests", "warm_requests", "cold_requests", "batches",
@@ -64,11 +78,21 @@ def check(condition: bool, message: str) -> None:
 def validate_exposition(text: str) -> None:
     samples = parse_prometheus(text)  # raises on any malformed line
     names = {name for name, _ in samples}
-    for family in REQUIRED_FAMILIES:
+    for family in REQUIRED_FAMILIES + GATEWAY_FAMILIES:
         present = any(
             name == family or name.startswith(family + "_") for name in names
         )
         check(present, f"/metrics is missing core series {family!r}")
+    for reason in ("queue_full", "rate_limited", "closed"):
+        check(
+            ("gateway_shed_total", (("reason", reason),)) in samples,
+            f"gateway_shed_total is missing the pre-seeded {reason!r} series",
+        )
+    admitted = sum(
+        value for (name, _), value in samples.items()
+        if name == "gateway_requests_total"
+    )
+    check(admitted >= 4, f"expected >=4 admitted requests in /metrics, saw {admitted}")
     served = sum(
         value for (name, _), value in samples.items()
         if name == "serving_requests_total"
@@ -104,7 +128,10 @@ def validate_trace(path: str) -> None:
     requests = [e for e in complete if e["name"] == "request"]
     check(len(requests) >= 4, f"expected >=4 request spans, found {len(requests)}")
     names = {e["name"] for e in complete}
-    for required in ("request", "cache.lookup", "flush", "engine.topk"):
+    for required in (
+        "request", "cache.lookup", "flush", "engine.topk",
+        "gateway.admit", "gateway.batch",
+    ):
         check(required in names, f"trace is missing {required!r} spans")
     request_ids = {e["args"]["span_id"] for e in requests}
     lookups = [e for e in complete if e["name"] == "cache.lookup"]
@@ -131,7 +158,7 @@ def main() -> int:
     process = subprocess.Popen(
         [
             sys.executable, "-u", "-m", "repro", "serve", artifacts,
-            "--metrics-port", "0", "--hold", "--trace-out", trace_path,
+            "--gateway", "--metrics-port", "0", "--hold", "--trace-out", trace_path,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -167,8 +194,9 @@ def main() -> int:
         process.terminate()
         process.wait(timeout=15)
     print(
-        f"PASS: /metrics parseable with {len(REQUIRED_FAMILIES)} core families, "
-        f"/stats stable, trace at {trace_path} complete"
+        f"PASS: /metrics parseable with {len(REQUIRED_FAMILIES)} core + "
+        f"{len(GATEWAY_FAMILIES)} gateway families, /stats stable, "
+        f"trace at {trace_path} complete"
     )
     return 0
 

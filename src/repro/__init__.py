@@ -9,7 +9,11 @@ Public API tour:
 * :mod:`repro.baselines` — ItemPop, BPR-MF, PaDQ, FM, DeepFM, GC-MC, NGCF
 * :mod:`repro.train`  — BPR trainer
 * :mod:`repro.eval`   — Recall/NDCG, cold-start protocols, user groups
-* :mod:`repro.serving` — embedding export + batched top-K serving
+* :mod:`repro.serving` — embedding export + batched top-K serving, plus the
+  always-on concurrent gateway (admission control, dual-trigger batching,
+  rate limits — docs/serving.md)
+* :mod:`repro.loadgen` — deterministic zipfian/burst traffic generation and
+  closed/open-loop load runners for the gateway
 * :mod:`repro.experiments` — model registry, declarative experiment specs,
   artifact store (also the engine behind the ``python -m repro`` CLI)
 * :mod:`repro.analysis` — CWTP entropy and price-category heatmaps
@@ -46,7 +50,7 @@ The same pipeline is reachable from the shell: ``python -m repro train
 
 __version__ = "1.2.0"
 
-from . import analysis, baselines, core, data, eval, experiments, graph, nn, obs, profiling, serving, train
+from . import analysis, baselines, core, data, eval, experiments, graph, loadgen, nn, obs, profiling, serving, train
 from .data.registry import available_datasets, load_dataset
 from .experiments import (
     Experiment,
@@ -76,6 +80,7 @@ __all__ = [
     "eval",
     "experiments",
     "graph",
+    "loadgen",
     "nn",
     "serving",
     "train",

@@ -402,6 +402,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"cannot serve this artifact: {error}", file=sys.stderr)
         return 1
 
+    gateway = None
+    if args.gateway:
+        from .serving.gateway import GatewayConfig, ServingGateway
+
+        gateway = ServingGateway(
+            service,
+            GatewayConfig(
+                max_queue_depth=args.queue_depth,
+                max_wait_ms=args.max_wait_ms,
+                rate_limit=args.rate_limit,
+            ),
+        )
+        limit_note = (
+            f", {args.rate_limit:g} req/s per tenant" if args.rate_limit else ""
+        )
+        print(
+            f"gateway: queue depth {args.queue_depth}, "
+            f"max wait {args.max_wait_ms:g} ms{limit_note}"
+        )
+
     server = None
     if args.metrics_port is not None:
         from .obs.server import MetricsServer
@@ -410,7 +430,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service.registry,
             port=args.metrics_port,
             stats_fn=service.stats.extended_snapshot,
-            update_fn=service._sync_gauges,
+            update_fn=gateway.sync_gauges if gateway is not None else service._sync_gauges,
         ).start()
         print(f"metrics: {server.url('/metrics')} (also /stats, /healthz)")
 
@@ -420,7 +440,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # Dry run: a few warm users plus one unknown id to exercise fallback.
         warm = [u for u in range(service.index.n_users) if service.index.is_warm(u)]
         users = warm[:3] + [service.index.n_users + 10_000]
-    for recommendation in service.recommend_many(users):
+    if gateway is not None:
+        # Through the admission queue: flushes come from the gateway's
+        # dual trigger, so the demo exercises the full serving pipeline.
+        pendings = [gateway.submit(user) for user in users]
+        answers = [pending.result(timeout=30.0) for pending in pendings]
+    else:
+        answers = service.recommend_many(users)
+    for recommendation in answers:
         items = ", ".join(str(int(item)) for item in recommendation.items)
         print(f"user {recommendation.user} [{recommendation.source}]: {items}")
     snapshot = service.stats.snapshot()
@@ -441,6 +468,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except KeyboardInterrupt:
                 pass
         server.stop()
+    if gateway is not None:
+        gateway.close()
     return 0
 
 
@@ -638,6 +667,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--hold", action="store_true",
         help="after answering the queries, keep the --metrics-port endpoint "
         "up until Ctrl-C (for scraping a live process)",
+    )
+    serve.add_argument(
+        "--gateway", action="store_true",
+        help="serve through the concurrent gateway (bounded admission queue, "
+        "dual-trigger batching, per-tenant rate limits; docs/serving.md)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024, metavar="N",
+        help="gateway admission-queue bound; requests beyond it are shed "
+        "with Overloaded (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="gateway latency trigger: flush a partial batch once its oldest "
+        "request has waited this long (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-tenant token-bucket rate limit in requests/second "
+        "(default: unlimited)",
     )
     _add_ann_build_flags(serve)
     _add_trace_flag(serve)

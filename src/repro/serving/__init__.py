@@ -42,6 +42,16 @@ from .service import (
     Recommendation,
     RecommenderService,
     Request,
+    ResultTimeout,
+)
+from .gateway import (
+    GatewayClosed,
+    GatewayConfig,
+    GatewayError,
+    Overloaded,
+    RateLimited,
+    ServingGateway,
+    TokenBucket,
 )
 from .stats import LatencyRecorder, ServingStats
 
@@ -69,6 +79,14 @@ __all__ = [
     "Recommendation",
     "PendingRecommendation",
     "Request",
+    "ResultTimeout",
+    "ServingGateway",
+    "GatewayConfig",
+    "GatewayError",
+    "Overloaded",
+    "RateLimited",
+    "GatewayClosed",
+    "TokenBucket",
     "WARM",
     "COLD",
     "LatencyRecorder",

@@ -1,0 +1,405 @@
+"""The always-on concurrent request runtime in front of the service.
+
+:class:`~repro.serving.service.RecommenderService` is a *library*: it
+batches whatever one caller pushes through it, and only flushes when a
+synchronous caller happens to cross ``max_batch_size``.
+:class:`ServingGateway` turns it into a *service* — the piece that absorbs
+heavy concurrent traffic:
+
+* **Admission control.**  ``submit()`` is safe from any number of threads;
+  the queue depth is strictly bounded (admission is serialized on one
+  condition variable, so the bound cannot be raced past).  When the queue
+  is full the request is *shed* with a typed :class:`Overloaded` error —
+  the caller backs off; the requests already queued keep their latency.
+
+* **Per-tenant rate limits.**  A classic token bucket per tenant
+  (``rate_limit`` requests/s sustained, ``rate_burst`` peak), rejecting
+  with :class:`RateLimited`.  Tenants are admission-control identities
+  only; the service below never sees them.
+
+* **Dual-trigger dynamic batching.**  A batch flushes when it reaches
+  ``max_batch_size`` *or* when its oldest request has waited
+  ``max_wait_ms`` — whichever comes first.  The size trigger fires inline
+  on the submitting thread; the deadline trigger fires on a background
+  flusher thread that sleeps exactly until the oldest request's deadline.
+  The gateway takes over the service's internal size trigger while
+  attached, so every flush happens under a ``gateway.batch`` span with its
+  trigger recorded.
+
+* **Response demux.**  Callers hold the same
+  :class:`~repro.serving.service.PendingRecommendation` futures the
+  service hands out; ``result(timeout=...)`` waits without forcing a
+  flush, which is what keeps batches large under concurrent load.
+
+* **Graceful drain.**  ``close()`` stops admission (:class:`GatewayClosed`
+  shed), retires the flusher thread, answers everything still queued, and
+  detaches from the service.  :meth:`swap_index` cooperates with the
+  service's hot-swap: in-flight requests drain against the old index
+  under the service's flush lock, so swap-under-load never deadlocks the
+  flusher or produces neither-index results.
+
+Everything the gateway decides is observable: ``gateway_requests_total``
+(by tenant), ``gateway_shed_total`` (by reason), ``gateway_flushes_total``
+(by trigger), the ``gateway_batch_size`` histogram, and the
+``gateway_queue_depth`` gauge, plus ``gateway.admit`` / ``gateway.batch``
+spans when a tracer is attached.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry, log_buckets
+from ..obs.trace import Tracer, maybe_span
+from .filters import Filter
+from .service import PendingRecommendation, RecommenderService
+
+#: a size trigger that can never fire: the gateway owns batching while attached
+_NEVER = sys.maxsize
+
+#: shed reasons (pre-seeded so the series exist on /metrics from scrape one)
+SHED_REASONS = ("queue_full", "rate_limited", "closed")
+
+#: flush triggers (pre-seeded likewise)
+FLUSH_TRIGGERS = ("size", "deadline", "drain")
+
+
+class GatewayError(RuntimeError):
+    """Base class for gateway admission rejections."""
+
+
+class Overloaded(GatewayError):
+    """The admission queue is at ``max_queue_depth``: request shed.
+
+    Load shedding, not failure — the requests already admitted keep their
+    latency budget; this caller should back off and retry.
+    """
+
+
+class RateLimited(GatewayError):
+    """The tenant's token bucket is empty: request rejected at admission."""
+
+
+class GatewayClosed(GatewayError):
+    """Submitted after :meth:`ServingGateway.close` began."""
+
+
+class TokenBucket:
+    """Token bucket: ``rate`` tokens/s refill, at most ``burst`` stored.
+
+    ``try_acquire`` is lock-free from the caller's perspective — the
+    gateway serializes admission anyway — but keeps its own lock so the
+    bucket is independently thread-safe.
+    """
+
+    def __init__(self, rate: float, burst: float, clock) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+            self._refilled_at = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+@dataclass
+class GatewayConfig:
+    """Gateway knobs (none of them can change results, only behavior under load).
+
+    ``max_batch_size=None`` inherits the service's; ``rate_limit=None``
+    disables rate limiting; ``rate_burst=None`` defaults to one second of
+    sustained rate (minimum 1).
+    """
+
+    max_queue_depth: int = 1024
+    max_wait_ms: float = 2.0
+    max_batch_size: Optional[int] = None
+    rate_limit: Optional[float] = None
+    rate_burst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.max_wait_ms <= 0:
+            raise ValueError(f"max_wait_ms must be > 0, got {self.max_wait_ms}")
+        if self.max_batch_size is not None and self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError(f"rate_limit must be > 0, got {self.rate_limit}")
+
+
+class ServingGateway:
+    """Bounded, rate-limited, dual-trigger front-end over one service.
+
+    The gateway assumes *sole ownership* of its service's batching while
+    attached: it sets the service's internal size trigger aside (restored
+    at :meth:`close`) so that every flush — size, deadline, or drain —
+    goes through :meth:`_flush` and is accounted once.  Synchronous
+    helpers on the service (``recommend``, ``recommend_many``,
+    ``pending.result()`` with no timeout) still work: they force a flush
+    through the service, which is thread-safe; they simply bypass the
+    gateway's trigger accounting.
+    """
+
+    def __init__(
+        self,
+        service: RecommenderService,
+        config: Optional[GatewayConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.service = service
+        self.config = config or GatewayConfig()
+        self.registry = registry if registry is not None else service.registry
+        self.tracer = service.tracer if tracer is None else tracer
+        self._clock = service._clock
+        self.max_batch_size = (
+            self.config.max_batch_size
+            if self.config.max_batch_size is not None
+            else service.max_batch_size
+        )
+        # Take over the size trigger (restored by close()).
+        self._service_batch_size = service.max_batch_size
+        service.max_batch_size = _NEVER
+
+        self._cond = threading.Condition()
+        self._closed = False
+        self._buckets: Dict[str, TokenBucket] = {}
+
+        self._admitted = self.registry.counter(
+            "gateway_requests_total", "Requests admitted past the gateway, by tenant.",
+            labels=("tenant",),
+        )
+        self._admitted.labels_key(("default",), 0)
+        self._shed = self.registry.counter(
+            "gateway_shed_total", "Requests rejected at admission, by reason.",
+            labels=("reason",),
+        )
+        for reason in SHED_REASONS:
+            self._shed.labels_key((reason,), 0)
+        self._flushes = self.registry.counter(
+            "gateway_flushes_total", "Batch flushes executed, by trigger.",
+            labels=("trigger",),
+        )
+        for trigger in FLUSH_TRIGGERS:
+            self._flushes.labels_key((trigger,), 0)
+        self._batch_size_hist = self.registry.histogram(
+            "gateway_batch_size", "Requests answered per gateway flush.",
+            buckets=log_buckets(1.0, 4096.0, per_decade=8),
+        )
+        self._depth_gauge = self.registry.gauge(
+            "gateway_queue_depth", "Requests waiting in the admission queue."
+        )
+
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="repro-gateway-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.config.rate_limit is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            burst = self.config.rate_burst
+            if burst is None:
+                burst = max(1.0, self.config.rate_limit)
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.config.rate_limit, burst, self._clock
+            )
+        return bucket
+
+    def _shed_request(self, reason: str) -> None:
+        self._shed.labels_key((reason,), 1)
+
+    def submit(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        exclude_train: bool = True,
+        filters: Sequence[Filter] = (),
+        price_profile: Optional[np.ndarray] = None,
+        tenant: str = "default",
+    ) -> PendingRecommendation:
+        """Admit one request; returns the service's pending future.
+
+        Raises :class:`GatewayClosed` / :class:`RateLimited` /
+        :class:`Overloaded` instead of queuing when admission control says
+        no — a shed request costs the caller one exception and the service
+        nothing at all.
+        """
+        with maybe_span(
+            self.tracer, "gateway.admit", cat="gateway", attrs={"tenant": tenant}
+        ) as admit_span:
+            with self._cond:
+                if self._closed:
+                    self._shed_request("closed")
+                    admit_span.set_attr("outcome", "closed")
+                    raise GatewayClosed("gateway is draining; no new requests")
+                bucket = self._bucket(tenant)
+                if bucket is not None and not bucket.try_acquire():
+                    self._shed_request("rate_limited")
+                    admit_span.set_attr("outcome", "rate_limited")
+                    raise RateLimited(
+                        f"tenant {tenant!r} exceeded {self.config.rate_limit:g} req/s"
+                    )
+                if self.service.queue_depth >= self.config.max_queue_depth:
+                    self._shed_request("queue_full")
+                    admit_span.set_attr("outcome", "queue_full")
+                    raise Overloaded(
+                        f"admission queue at max depth {self.config.max_queue_depth}"
+                    )
+                pending = self.service.submit(
+                    user, k=k, exclude_train=exclude_train, filters=filters,
+                    price_profile=price_profile,
+                )
+                self._admitted.labels_key((tenant,), 1)
+                admit_span.set_attr("outcome", "admitted")
+                queued = not pending.done
+                if queued:
+                    # Wake the flusher so it can (re)arm the deadline timer.
+                    self._cond.notify()
+                should_flush = queued and self.service.queue_depth >= self.max_batch_size
+            if should_flush:
+                self._flush("size")
+            return pending
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _flush(self, trigger: str) -> int:
+        with maybe_span(
+            self.tracer, "gateway.batch", cat="gateway", attrs={"trigger": trigger}
+        ) as span:
+            flushed = self.service.flush()
+            span.set_attr("n_requests", flushed)
+        if flushed:
+            self._flushes.labels_key((trigger,), 1)
+            self._batch_size_hist.observe(flushed)
+        self.sync_gauges()
+        return flushed
+
+    def _flusher_loop(self) -> None:
+        max_wait = self.config.max_wait_ms / 1e3
+        while True:
+            with self._cond:
+                while not self._closed and self.service.queue_depth == 0:
+                    self._cond.wait()
+                if self._closed:
+                    return
+            oldest = self.service.oldest_enqueued_at()
+            if oldest is None:
+                continue  # a racing flush emptied the queue; go back to sleep
+            delay = oldest + max_wait - self._clock()
+            if delay > 0:
+                with self._cond:
+                    # Early notifies (new submits, close) just re-evaluate;
+                    # the loop converges on the oldest request's deadline.
+                    if self._closed:
+                        return
+                    self._cond.wait(timeout=delay)
+                continue
+            self._flush("deadline")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drain(self) -> int:
+        """Flush everything queued right now (the gateway stays open)."""
+        return self._flush("drain")
+
+    def close(self) -> int:
+        """Stop admission, retire the flusher, answer the stragglers.
+
+        Returns how many queued requests the final drain resolved.
+        Idempotent; afterwards the service's own size trigger is restored,
+        so it behaves exactly as it did before the gateway attached.
+        """
+        with self._cond:
+            if self._closed:
+                return 0
+            self._closed = True
+            self._cond.notify_all()
+        self._flusher.join(timeout=30)
+        drained = self._flush("drain")
+        self.service.max_batch_size = self._service_batch_size
+        return drained
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Index lifecycle + observability
+    # ------------------------------------------------------------------
+    def swap_index(self, index, ann=None) -> int:
+        """Hot-swap the index while the gateway keeps serving.
+
+        Delegates to :meth:`RecommenderService.swap_index`, which drains
+        in-flight requests against the old index under the service's flush
+        lock; requests admitted during the swap are answered wholly by the
+        new index.  The flusher thread needs no coordination — its flushes
+        serialize on the same lock.
+        """
+        evicted = self.service.swap_index(index, ann=ann)
+        self.sync_gauges()
+        return evicted
+
+    @property
+    def queue_depth(self) -> int:
+        return self.service.queue_depth
+
+    def sync_gauges(self) -> None:
+        """Refresh point-in-time gauges (also the /metrics per-scrape hook)."""
+        self._depth_gauge.set(self.service.queue_depth)
+        self.service._sync_gauges()
+
+    def shed_count(self, reason: Optional[str] = None) -> int:
+        """Requests shed so far (one reason, or all of them)."""
+        if reason is not None:
+            return int(self._shed.value(reason=reason))
+        return sum(int(self._shed.value(reason=r)) for r in SHED_REASONS)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of the gateway's own counters (for reports/CLI)."""
+        out: Dict[str, float] = {
+            "queue_depth": float(self.service.queue_depth),
+            "max_queue_depth": float(self.config.max_queue_depth),
+            "admitted": float(
+                sum(series.value for _, series in self._admitted.items())
+            ),
+        }
+        for reason in SHED_REASONS:
+            out[f"shed_{reason}"] = float(self._shed.value(reason=reason))
+        for trigger in FLUSH_TRIGGERS:
+            out[f"flushes_{trigger}"] = float(self._flushes.value(trigger=trigger))
+        return out

@@ -16,14 +16,29 @@ Results land in an LRU cache keyed by the full request identity with
 explicit invalidation (:meth:`RecommenderService.invalidate`) for when a
 new index is swapped in or a user's state changes.  Latency, QPS, and
 cache hit-rate counters live in :class:`~repro.serving.stats.ServingStats`.
+
+Concurrency contract: the service is safe to drive from many threads at
+once — this is the substrate the always-on gateway
+(:mod:`repro.serving.gateway`) builds on.  Two locks split the work:
+
+* ``_lock`` guards the *queue and cache* — the cheap mutations every
+  ``submit`` performs;
+* ``_flush_lock`` guards the *engine view* — a flush answers its whole
+  snapshot against one consistent (index, engine, fallback) triple, and
+  :meth:`swap_index` replaces that triple while holding the same lock, so
+  a request can observe the old index or the new one but never a mix.
+
+No thread ever waits on ``_flush_lock`` while holding ``_lock``, which is
+what makes the pair deadlock-free.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,11 +47,19 @@ from ..obs.trace import Tracer, maybe_span
 from .fallback import PriceProfileFallback
 from .filters import Filter, combine_signature
 from .index import EmbeddingIndex
-from .retrieval import RetrievalEngine
+from .retrieval import RetrievalEngine, RetrievalResult
 from .stats import ServingStats
 
 WARM = "warm"
 COLD = "cold_fallback"
+
+
+class ResultTimeout(TimeoutError):
+    """``PendingRecommendation.result(timeout=...)`` expired unresolved.
+
+    The request is still queued and will be answered by a later flush; the
+    caller has merely stopped waiting (deadline-style serving).
+    """
 
 
 @dataclass
@@ -81,10 +104,13 @@ class Recommendation:
 class PendingRecommendation:
     """Handle returned by :meth:`RecommenderService.submit`.
 
-    Resolves when the service flushes its queue; calling :meth:`result`
-    forces a flush if the answer is not in yet.  A request that failed
-    during its batch re-raises its error here — one poisoned request never
-    orphans the rest of a batch.
+    Resolves when the service flushes its queue.  ``result()`` (no
+    timeout) forces a flush if the answer is not in yet — the synchronous
+    caller's path; ``result(timeout=seconds)`` instead *waits* for another
+    thread (a concurrent caller hitting the size trigger, or the gateway's
+    flusher) to resolve it, raising :class:`ResultTimeout` on expiry.  A
+    request that failed during its batch re-raises its error here — one
+    poisoned request never orphans the rest of a batch.
     """
 
     def __init__(self, service: "RecommenderService", request: Request) -> None:
@@ -92,25 +118,43 @@ class PendingRecommendation:
         self._request = request
         self._result: Optional[Recommendation] = None
         self._error: Optional[Exception] = None
+        self._done = threading.Event()
         self._span = None  # request span, finished at resolve/fail time
 
     @property
     def done(self) -> bool:
-        return self._result is not None or self._error is not None
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved (or ``timeout`` seconds); True when done."""
+        return self._done.wait(timeout)
 
     def _resolve(self, result: Recommendation) -> None:
         self._result = result
+        self._done.set()
         if self._span is not None:
             self._span.finish(source=result.source, cached=result.cached)
 
     def _fail(self, error: Exception) -> None:
         self._error = error
+        self._done.set()
         if self._span is not None:
             self._span.finish(error=type(error).__name__)
 
-    def result(self) -> Recommendation:
-        if not self.done:
-            self._service.flush()
+    def result(self, timeout: Optional[float] = None) -> Recommendation:
+        if not self._done.is_set():
+            if timeout is None:
+                # Synchronous path: force a flush.  A concurrent flusher may
+                # already hold our request (the queue swap happened before we
+                # got here), in which case our flush() sees an empty queue —
+                # the wait below covers that window.
+                self._service.flush()
+                self._done.wait()
+            elif not self._done.wait(timeout):
+                raise ResultTimeout(
+                    f"request for user {self._request.user} unresolved after "
+                    f"{timeout:.3f}s"
+                )
         if self._error is not None:
             raise self._error
         assert self._result is not None, "flush() must resolve every queued request"
@@ -131,6 +175,7 @@ class RecommenderService:
         ann=None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        runtime=None,
     ) -> None:
         if default_k < 1:
             raise ValueError(f"default_k must be >= 1, got {default_k}")
@@ -147,6 +192,19 @@ class RecommenderService:
         self.max_batch_size = max_batch_size
         self.cache_capacity = cache_capacity
         self._clock = clock or time.perf_counter
+        # runtime: an optional sharded BatchRuntime backend over the same
+        # catalog; eligible warm groups are answered by runtime.rank()
+        # (bit-identical kernels) instead of the in-process engine.
+        if runtime is not None and runtime.n_items != index.n_items:
+            raise ValueError(
+                f"backend runtime covers {runtime.n_items} items but the index "
+                f"has {index.n_items}"
+            )
+        self.runtime = runtime
+        # _lock guards queue + cache; _flush_lock serializes batch execution
+        # against swap_index (see the module docstring's concurrency contract)
+        self._lock = threading.RLock()
+        self._flush_lock = threading.RLock()
         self._cache: "OrderedDict[Tuple, Recommendation]" = OrderedDict()
         # queue entries: (request, pending, enqueued_at) — the timestamp is
         # what lets record_batch account queue wait into end-to-end latency
@@ -184,16 +242,30 @@ class RecommenderService:
         index first: they were submitted under it, and answering them from
         a half-swapped state would be neither-index results.
 
+        Safe under concurrent load: ``_flush_lock`` is held across the
+        drain *and* the engine replacement, so a flush racing this swap
+        either completes fully against the old index (it got the lock
+        first) or answers its whole snapshot from the new one — never a
+        mix.  An attached backend runtime is refreshed in place.
+
         Returns the number of cached results evicted.
         """
-        self.flush()
-        self.index = index
-        self.engine = RetrievalEngine(
-            index, item_block_size=self.item_block_size, ann=ann, tracer=self.tracer
-        )
-        self.fallback = PriceProfileFallback(index)
-        evicted = len(self._cache)
-        self._cache.clear()
+        with self._flush_lock:
+            self.flush()
+            with self._lock:
+                self.index = index
+                self.engine = RetrievalEngine(
+                    index, item_block_size=self.item_block_size, ann=ann,
+                    tracer=self.tracer,
+                )
+                self.fallback = PriceProfileFallback(index)
+                evicted = len(self._cache)
+                self._cache.clear()
+            if self.runtime is not None:
+                exclude_csr = None
+                if self.runtime.has_exclusions:
+                    exclude_csr = (index.exclude_indptr, index.exclude_indices)
+                self.runtime.refresh(index, exclude_csr=exclude_csr)
         return evicted
 
     # ------------------------------------------------------------------
@@ -269,8 +341,10 @@ class RecommenderService:
             return pending
         self.stats.record_cache(hit=False)
 
-        self._queue.append((request, pending, self._clock()))
-        if len(self._queue) >= self.max_batch_size:
+        with self._lock:
+            self._queue.append((request, pending, self._clock()))
+            should_flush = len(self._queue) >= self.max_batch_size
+        if should_flush:
             self.flush()
         return pending
 
@@ -293,10 +367,34 @@ class RecommenderService:
         k: Optional[int] = None,
         exclude_train: bool = True,
         filters: Sequence[Filter] = (),
+        price_profiles: Optional[Union[np.ndarray, Sequence[Optional[np.ndarray]]]] = None,
     ) -> List[Recommendation]:
-        """Batch entry point: enqueue everything, flush once, keep order."""
+        """Batch entry point: enqueue everything, flush once, keep order.
+
+        ``price_profiles`` steers the cold-start fallback for cold users in
+        the batch (warm users ignore it, exactly as :meth:`submit` does):
+        either one shared profile array of shape ``(n_price_levels,)``
+        applied to every user, or a per-user sequence (entries may be None)
+        of the same length as ``users``.
+        """
+        if price_profiles is None:
+            per_user: List[Optional[np.ndarray]] = [None] * len(users)
+        elif isinstance(price_profiles, np.ndarray) and price_profiles.ndim == 1:
+            per_user = [price_profiles] * len(users)
+        else:
+            per_user = list(price_profiles)
+            if len(per_user) != len(users):
+                raise ValueError(
+                    f"price_profiles has {len(per_user)} entries for "
+                    f"{len(users)} users (pass one 1-D array to share a "
+                    "profile across the batch)"
+                )
         pending = [
-            self.submit(user, k=k, exclude_train=exclude_train, filters=filters) for user in users
+            self.submit(
+                user, k=k, exclude_train=exclude_train, filters=filters,
+                price_profile=profile,
+            )
+            for user, profile in zip(users, per_user)
         ]
         self.flush()
         return [p.result() for p in pending]
@@ -305,26 +403,45 @@ class RecommenderService:
     # Micro-batch execution
     # ------------------------------------------------------------------
     def flush(self) -> int:
-        """Answer every queued request; returns how many were resolved."""
-        if not self._queue:
-            return 0
-        queue, self._queue = self._queue, []
+        """Answer every queued request; returns how many were resolved.
+
+        Thread-safe: the queue swap happens under ``_lock`` (so concurrent
+        submits never lose a request), and the batch itself executes under
+        ``_flush_lock`` (so the whole snapshot is answered by one
+        consistent engine, even across a concurrent :meth:`swap_index`).
+        Two racing flushes operate on disjoint snapshots.
+        """
+        with self._lock:
+            if not self._queue:
+                return 0
+            queue, self._queue = self._queue, []
         self._sync_gauges()
 
         groups: "OrderedDict[Tuple, List[Tuple[Request, PendingRecommendation, float]]]" = OrderedDict()
         for request, pending, enqueued_at in queue:
             groups.setdefault(request.batch_key(), []).append((request, pending, enqueued_at))
 
-        with maybe_span(
-            self.tracer, "flush", cat="serving", attrs={"n_requests": len(queue)}
-        ):
-            for entries in groups.values():
-                warm = [e for e in entries if self.index.is_warm(e[0].user)]
-                cold = [e for e in entries if not self.index.is_warm(e[0].user)]
-                if warm:
-                    self._run_group(self._answer_warm, warm)
-                if cold:
-                    self._run_group(self._answer_cold_group, cold)
+        with self._flush_lock:
+            try:
+                with maybe_span(
+                    self.tracer, "flush", cat="serving", attrs={"n_requests": len(queue)}
+                ):
+                    for entries in groups.values():
+                        warm = [e for e in entries if self.index.is_warm(e[0].user)]
+                        cold = [e for e in entries if not self.index.is_warm(e[0].user)]
+                        if warm:
+                            self._run_group(self._answer_warm, warm)
+                        if cold:
+                            self._run_group(self._answer_cold_group, cold)
+            finally:
+                # Never strand a waiter: anything still unresolved (only
+                # reachable if the grouping machinery itself failed) fails
+                # loudly instead of leaving result() to block forever.
+                for _, pending, _ in queue:
+                    if not pending.done:
+                        pending._fail(
+                            RuntimeError("flush exited without resolving this request")
+                        )
         return len(queue)
 
     @staticmethod
@@ -337,19 +454,48 @@ class RecommenderService:
                 if not pending.done:
                     pending._fail(error)
 
+    def _route_via_runtime(self, request: Request) -> bool:
+        """Whether a warm group with this shape may run on the backend runtime.
+
+        The runtime ranks the full catalog with the service's own kernels
+        (bit-identical results), but knows nothing of per-request filters
+        and carries a fixed exclusion mask — so only the unfiltered shape
+        whose exclusion setting matches the runtime's is eligible; anything
+        else stays on the in-process engine.
+        """
+        return (
+            self.runtime is not None
+            and not request.filters
+            and request.exclude_train == self.runtime.has_exclusions
+            and self.engine.ann is None
+            and self.runtime.ann is None
+        )
+
     def _answer_warm(self, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
         first = entries[0][0]
         users = [request.user for request, _, _ in entries]
         began = self._clock()
+        via_runtime = self._route_via_runtime(first)
         with maybe_span(
-            self.tracer, "batch.warm", cat="serving", attrs={"n_requests": len(entries)}
+            self.tracer, "batch.warm", cat="serving",
+            attrs={"n_requests": len(entries), "backend": "runtime" if via_runtime else "engine"},
         ):
-            results = self.engine.topk(
-                users,
-                k=first.k,
-                exclude_train=first.exclude_train,
-                filters=first.filters,
-            )
+            if via_runtime:
+                _, ids, scores = self.runtime.rank(
+                    users, k=min(first.k, self.index.n_items), with_scores=True,
+                    tracer=self.tracer,
+                )
+                results = [
+                    RetrievalResult(items=ids[row], scores=scores[row])
+                    for row in range(len(users))
+                ]
+            else:
+                results = self.engine.topk(
+                    users,
+                    k=first.k,
+                    exclude_train=first.exclude_train,
+                    filters=first.filters,
+                )
         self.stats.record_batch(
             n_requests=len(entries),
             n_items_scored=len(entries) * self.index.n_items,
@@ -357,11 +503,15 @@ class RecommenderService:
             queue_waits=[began - enqueued_at for _, _, enqueued_at in entries],
         )
         for (request, pending, _), result in zip(entries, results):
-            answer = Recommendation(
-                user=request.user, items=result.items, scores=result.scores, source=WARM
-            )
-            self._cache_put(request.cache_key(), answer)
-            pending._resolve(answer)
+            try:
+                answer = Recommendation(
+                    user=request.user, items=result.items, scores=result.scores, source=WARM
+                )
+                self._cache_put(request.cache_key(), answer)
+                pending._resolve(answer)
+            except Exception as error:  # noqa: BLE001 - delivered via result()
+                if not pending.done:
+                    pending._fail(error)
 
     def _answer_cold_group(
         self, entries: List[Tuple[Request, PendingRecommendation, float]]
@@ -370,7 +520,9 @@ class RecommenderService:
 
         Fallback scores depend only on the price profile (and the frozen
         index), so requests sharing a profile — in particular the common
-        no-profile case — share one scoring pass.
+        no-profile case — share one scoring pass.  Each request resolves
+        (or fails) individually: one request whose per-user ranking throws
+        does not poison the rest of its profile group.
         """
         by_profile: "OrderedDict[Optional[Tuple], List[Tuple[Request, PendingRecommendation, float]]]" = OrderedDict()
         for request, pending, enqueued_at in entries:
@@ -387,17 +539,22 @@ class RecommenderService:
             ):
                 scores = self.fallback.scores(profile_entries[0][0].price_profile)
                 for request, pending, _ in profile_entries:
-                    exclude = None
-                    if request.exclude_train and 0 <= request.user < self.index.n_users:
-                        exclude = self.index.excluded_items(request.user)
-                    result = self.engine.topk_from_scores(
-                        scores, k=request.k, exclude_items=exclude, filters=request.filters
-                    )
-                    answer = Recommendation(
-                        user=request.user, items=result.items, scores=result.scores, source=COLD
-                    )
-                    self._cache_put(request.cache_key(), answer)
-                    pending._resolve(answer)
+                    try:
+                        exclude = None
+                        if request.exclude_train and 0 <= request.user < self.index.n_users:
+                            exclude = self.index.excluded_items(request.user)
+                        result = self.engine.topk_from_scores(
+                            scores, k=request.k, exclude_items=exclude, filters=request.filters
+                        )
+                        answer = Recommendation(
+                            user=request.user, items=result.items, scores=result.scores,
+                            source=COLD,
+                        )
+                        self._cache_put(request.cache_key(), answer)
+                        pending._resolve(answer)
+                    except Exception as error:  # noqa: BLE001 - delivered via result()
+                        if not pending.done:
+                            pending._fail(error)
             self.stats.record_batch(
                 n_requests=len(profile_entries),
                 n_items_scored=self.index.n_items,
@@ -411,24 +568,27 @@ class RecommenderService:
     def _cache_get(self, key: Tuple) -> Optional[Recommendation]:
         if self.cache_capacity < 1:
             return None
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache.move_to_end(key)
-        return hit
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+            return hit
 
     def _cache_put(self, key: Tuple, value: Recommendation) -> None:
         if self.cache_capacity < 1:
             return
         # Snapshot the arrays: the caller owns the object we hand back.
-        self._cache[key] = Recommendation(
+        entry = Recommendation(
             user=value.user,
             items=value.items.copy(),
             scores=value.scores.copy(),
             source=value.source,
         )
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_capacity:
+                self._cache.popitem(last=False)
 
     def invalidate(self, user: Optional[int] = None) -> int:
         """Drop cached results — all of them, or one user's.
@@ -437,15 +597,16 @@ class RecommenderService:
         with a user id when that user's state changed (new purchase).
         Returns the number of evicted entries.
         """
-        if user is None:
-            evicted = len(self._cache)
-            self._cache.clear()
-            self.engine.invalidate_masks()
-            return evicted
-        keys = [key for key in self._cache if key[0] == user]
-        for key in keys:
-            del self._cache[key]
-        return len(keys)
+        with self._lock:
+            if user is None:
+                evicted = len(self._cache)
+                self._cache.clear()
+                self.engine.invalidate_masks()
+                return evicted
+            keys = [key for key in self._cache if key[0] == user]
+            for key in keys:
+                del self._cache[key]
+            return len(keys)
 
     @property
     def cache_size(self) -> int:
@@ -454,6 +615,15 @@ class RecommenderService:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Enqueue timestamp of the longest-waiting queued request.
+
+        None when the queue is empty.  This is what a latency-triggered
+        batcher (the gateway's flusher thread) schedules its wakeup from.
+        """
+        with self._lock:
+            return self._queue[0][2] if self._queue else None
 
     def _sync_gauges(self) -> None:
         self._queue_depth_gauge.set(len(self._queue))

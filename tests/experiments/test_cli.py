@@ -77,6 +77,21 @@ def test_serve_explicit_users(trained_dir, capsys):
     assert out.count("[warm]") == 2
 
 
+def test_serve_through_gateway(trained_dir, capsys):
+    code, out = run_cli(
+        [
+            "serve", trained_dir, "--dry-run", "--k", "3", "--gateway",
+            "--queue-depth", "64", "--max-wait-ms", "1.5", "--rate-limit", "10000",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "gateway: queue depth 64, max wait 1.5 ms, 10000 req/s per tenant" in out
+    assert "[warm]" in out
+    assert "[cold_fallback]" in out
+    assert "served 4 requests" in out
+
+
 def test_train_from_spec_file(tmp_path, capsys):
     spec = ExperimentSpec.create(
         "bpr-mf", "yelp", scale=0.2, hparams={"dim": 8}, epochs=1,

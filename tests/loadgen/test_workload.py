@@ -1,0 +1,128 @@
+"""Workload synthesis: determinism, skew shape, cold mix, arrival math."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    ArrivalSchedule,
+    WorkloadConfig,
+    arrival_times,
+    build_workload,
+    zipf_users,
+)
+from repro.serving import PriceBandFilter
+
+
+class TestZipfUsers:
+    def test_skew_orders_users_by_rank(self):
+        rng = np.random.default_rng(0)
+        users = zipf_users(50_000, 100, s=1.1, rng=rng)
+        counts = np.bincount(users, minlength=100)
+        # rank 0 is the hottest; the head dominates, the tail is thin
+        assert counts[0] == counts.max()
+        assert counts[0] > 5 * counts[50]
+        assert users.min() >= 0 and users.max() < 100
+
+    def test_s_zero_is_uniform(self):
+        rng = np.random.default_rng(1)
+        users = zipf_users(100_000, 10, s=0.0, rng=rng)
+        counts = np.bincount(users, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+
+class TestBuildWorkload:
+    def test_same_seed_same_workload(self):
+        config = WorkloadConfig(
+            n_requests=500, n_users=50, cold_fraction=0.2,
+            k_mix=((5, 0.5), (20, 0.5)),
+        )
+        a = build_workload(config, seed=3)
+        b = build_workload(config, seed=3)
+        assert [(r.user, r.k, r.cold) for r in a] == [(r.user, r.k, r.cold) for r in b]
+        c = build_workload(config, seed=4)
+        assert [r.user for r in a] != [r.user for r in c]
+
+    def test_cold_users_live_outside_warm_id_space(self):
+        config = WorkloadConfig(n_requests=2000, n_users=50, cold_fraction=0.25)
+        workload = build_workload(config, seed=0)
+        cold = [r for r in workload if r.cold]
+        warm = [r for r in workload if not r.cold]
+        assert 0.15 < len(cold) / len(workload) < 0.35
+        assert all(r.user >= 50 for r in cold)
+        assert all(0 <= r.user < 50 for r in warm)
+
+    def test_k_and_filter_mix_sampled_per_request(self):
+        band = (PriceBandFilter(0, 1),)
+        config = WorkloadConfig(
+            n_requests=1000, n_users=20,
+            k_mix=((5, 0.5), (10, 0.5)),
+            filter_mix=(((), 0.7), (band, 0.3)),
+        )
+        workload = build_workload(config, seed=9)
+        ks = {r.k for r in workload}
+        assert ks == {5, 10}
+        filtered = sum(1 for r in workload if r.filters)
+        assert 200 < filtered < 400
+
+    def test_cold_price_profile_attached_to_cold_only(self):
+        profile = np.array([1.0, 0.0, 0.0])
+        config = WorkloadConfig(
+            n_requests=300, n_users=10, cold_fraction=0.3, cold_price_profile=profile
+        )
+        for request in build_workload(config, seed=2):
+            if request.cold:
+                assert request.price_profile is profile
+            else:
+                assert request.price_profile is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(cold_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(k_mix=())
+        with pytest.raises(ValueError):
+            WorkloadConfig(zipf_s=-0.1)
+
+
+class TestArrivalSchedules:
+    def test_uniform_rate_spacing(self):
+        times = arrival_times(ArrivalSchedule(mode="uniform", rate=100.0), 11)
+        np.testing.assert_allclose(np.diff(times), 0.01)
+        assert times[0] == 0.0
+
+    def test_onoff_bursts_leave_silent_gaps(self):
+        schedule = ArrivalSchedule(mode="onoff", rate=1000.0, on_s=0.01, off_s=0.09)
+        times = arrival_times(schedule, 50)
+        gaps = np.diff(times)
+        # inside a burst: 1ms spacing; across the off window: ~90ms jump
+        assert gaps.min() < 0.002
+        assert gaps.max() > 0.05
+        # arrivals only land in on windows (float modulo can wrap a cycle
+        # boundary to just under the full period — both edges are "start")
+        phase = times % 0.1
+        assert ((phase <= 0.01 + 1e-6) | (phase >= 0.1 - 1e-6)).all()
+
+    def test_sine_rate_oscillates(self):
+        schedule = ArrivalSchedule(mode="sine", rate=100.0, period_s=1.0, amplitude=0.5)
+        assert schedule.rate_at(0.25) == pytest.approx(150.0)
+        assert schedule.rate_at(0.75) == pytest.approx(50.0)
+        times = arrival_times(schedule, 200)
+        assert (np.diff(times) > 0).all()
+
+    def test_deterministic(self):
+        schedule = ArrivalSchedule(mode="onoff", rate=500.0, on_s=0.02, off_s=0.03)
+        np.testing.assert_array_equal(
+            arrival_times(schedule, 40), arrival_times(schedule, 40)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(mode="poisson")
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(mode="sine", amplitude=1.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(mode="onoff", on_s=0.0)

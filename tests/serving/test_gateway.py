@@ -1,0 +1,244 @@
+"""ServingGateway: admission control, dual-trigger batching, rate limits.
+
+The acceptance criterion pinned throughout: the gateway changes *when*
+work happens (batching, shedding, pacing), never *what* is computed —
+results through the gateway are bit-identical to the synchronous
+``recommend_many`` path for the same requests.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.obs import MetricsRegistry, Tracer
+from repro.serving import (
+    GatewayClosed,
+    GatewayConfig,
+    Overloaded,
+    RateLimited,
+    RecommenderService,
+    ServingGateway,
+    TokenBucket,
+    export_index,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=40, n_items=60, n_categories=4, n_price_levels=4,
+        interactions_per_user=7, seed=13,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=10, category_dim=4, rng=np.random.default_rng(5))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, model, index
+
+
+def make_service(index, **kwargs):
+    kwargs.setdefault("default_k", 8)
+    kwargs.setdefault("cache_capacity", 0)
+    return RecommenderService(index, **kwargs)
+
+
+class TestAdmission:
+    def test_overloaded_when_queue_full(self, setup):
+        _, _, index = setup
+        service = make_service(index, max_batch_size=4)
+        with ServingGateway(
+            service, GatewayConfig(max_queue_depth=3, max_wait_ms=10_000.0, max_batch_size=1000)
+        ) as gateway:
+            for user in range(3):
+                gateway.submit(user)
+            with pytest.raises(Overloaded):
+                gateway.submit(3)
+            assert gateway.queue_depth == 3  # bound held
+            assert gateway.shed_count("queue_full") == 1
+            # shedding freed nothing: draining answers exactly the admitted 3
+            assert gateway.drain() == 3
+
+    def test_rate_limit_per_tenant(self, setup):
+        _, _, index = setup
+        clock = [0.0]
+        service = make_service(index, max_batch_size=1000, clock=lambda: clock[0])
+        config = GatewayConfig(
+            max_queue_depth=100, max_wait_ms=10_000.0, rate_limit=10.0, rate_burst=2.0
+        )
+        with ServingGateway(service, config) as gateway:
+            gateway.submit(0, tenant="a")
+            gateway.submit(1, tenant="a")
+            with pytest.raises(RateLimited):
+                gateway.submit(2, tenant="a")
+            # tenants are isolated: "b" has its own bucket
+            gateway.submit(2, tenant="b")
+            # refill at 10/s: 0.1 simulated seconds buys one token back
+            clock[0] += 0.1
+            gateway.submit(3, tenant="a")
+            assert gateway.shed_count("rate_limited") == 1
+
+    def test_closed_gateway_sheds_and_restores_service(self, setup):
+        _, _, index = setup
+        service = make_service(index, max_batch_size=7)
+        gateway = ServingGateway(service, GatewayConfig(max_queue_depth=10, max_wait_ms=10_000.0))
+        pending = gateway.submit(0)
+        assert gateway.close() == 1  # final drain answered the straggler
+        assert pending.done
+        with pytest.raises(GatewayClosed):
+            gateway.submit(1)
+        assert gateway.close() == 0  # idempotent
+        assert service.max_batch_size == 7  # size trigger handed back
+
+
+class TestDualTrigger:
+    def test_size_trigger_flushes_inline(self, setup):
+        _, _, index = setup
+        service = make_service(index)
+        config = GatewayConfig(max_queue_depth=100, max_wait_ms=10_000.0, max_batch_size=3)
+        with ServingGateway(service, config) as gateway:
+            first = [gateway.submit(u) for u in range(2)]
+            assert not any(p.done for p in first)  # below both triggers
+            third = gateway.submit(2)
+            assert third.done and all(p.done for p in first)
+            assert gateway.snapshot()["flushes_size"] == 1.0
+
+    def test_deadline_trigger_flushes_in_background(self, setup):
+        _, _, index = setup
+        service = make_service(index)
+        config = GatewayConfig(max_queue_depth=100, max_wait_ms=10.0, max_batch_size=1000)
+        with ServingGateway(service, config) as gateway:
+            pending = gateway.submit(0)
+            # no explicit flush, no size trigger: the flusher thread must act
+            rec = pending.result(timeout=5.0)
+            assert rec.user == 0
+            assert gateway.snapshot()["flushes_deadline"] >= 1.0
+
+    def test_deadline_measured_from_oldest_request(self, setup):
+        """A stream of new submits must not postpone the first request's
+        deadline — the timer keys off the *oldest* enqueue time."""
+        _, _, index = setup
+        service = make_service(index)
+        config = GatewayConfig(max_queue_depth=1000, max_wait_ms=50.0, max_batch_size=1000)
+        with ServingGateway(service, config) as gateway:
+            began = time.perf_counter()
+            first = gateway.submit(0)
+            stop = threading.Event()
+
+            def trickle() -> None:
+                user = 1
+                while not stop.is_set() and not first.done:
+                    gateway.submit(user % index.n_users)
+                    user += 1
+                    time.sleep(0.005)
+
+            thread = threading.Thread(target=trickle)
+            thread.start()
+            try:
+                first.result(timeout=5.0)
+                waited = time.perf_counter() - began
+            finally:
+                stop.set()
+                thread.join()
+            assert waited < 2.0, f"deadline starved by later submits ({waited:.3f}s)"
+
+
+class TestParity:
+    def test_gateway_results_bit_identical_to_sync_path(self, setup):
+        """Acceptance criterion: concurrency must not change answers."""
+        _, _, index = setup
+        users = [u % index.n_users for u in range(120)]
+        sync = make_service(index).recommend_many(users, k=8)
+
+        service = make_service(index)
+        config = GatewayConfig(max_queue_depth=64, max_wait_ms=2.0, max_batch_size=16)
+        answers = {}
+        answers_lock = threading.Lock()
+        with ServingGateway(service, config) as gateway:
+            def worker(shard):
+                for i, user in shard:
+                    rec = gateway.submit(user, k=8).result(timeout=10.0)
+                    with answers_lock:
+                        answers[i] = rec
+
+            shards = [list(enumerate(users))[t::4] for t in range(4)]
+            threads = [threading.Thread(target=worker, args=(s,)) for s in shards]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i, expected in enumerate(sync):
+            np.testing.assert_array_equal(answers[i].items, expected.items)
+            np.testing.assert_array_equal(answers[i].scores, expected.scores)
+
+
+class TestObservability:
+    def test_metric_families_present_and_accounted(self, setup):
+        _, _, index = setup
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        service = make_service(index, registry=registry, tracer=tracer)
+        config = GatewayConfig(max_queue_depth=2, max_wait_ms=10_000.0, max_batch_size=1000)
+        with ServingGateway(service, config) as gateway:
+            gateway.submit(0)
+            gateway.submit(1)
+            with pytest.raises(Overloaded):
+                gateway.submit(2)
+            gateway.drain()
+        text = registry.to_prometheus()
+        for family in (
+            "gateway_requests_total",
+            "gateway_shed_total",
+            "gateway_flushes_total",
+            "gateway_batch_size",
+            "gateway_queue_depth",
+        ):
+            assert family in text, f"missing {family}"
+        # pre-seeded zero series make every shed reason scrapeable
+        assert 'gateway_shed_total{reason="rate_limited"} 0' in text
+        assert 'gateway_shed_total{reason="queue_full"} 1' in text
+        names = [span["name"] for span in tracer.records()]
+        assert "gateway.admit" in names
+        assert "gateway.batch" in names
+
+    def test_snapshot_accounts_every_outcome(self, setup):
+        _, _, index = setup
+        service = make_service(index)
+        config = GatewayConfig(max_queue_depth=2, max_wait_ms=10_000.0, max_batch_size=1000)
+        with ServingGateway(service, config) as gateway:
+            gateway.submit(0)
+            gateway.submit(1)
+            with pytest.raises(Overloaded):
+                gateway.submit(2)
+            gateway.drain()
+            snap = gateway.snapshot()
+        assert snap["admitted"] == 2.0
+        assert snap["shed_queue_full"] == 1.0
+        assert snap["flushes_drain"] >= 1.0
+
+
+class TestTokenBucket:
+    def test_burst_then_sustained_rate(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: clock[0])
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        clock[0] += 0.5  # one token refilled at 2/s
+        assert bucket.try_acquire() is True
+        assert bucket.try_acquire() is False
+        clock[0] += 100.0  # refill caps at burst
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0, clock=time.perf_counter)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5, clock=time.perf_counter)
+        with pytest.raises(ValueError):
+            GatewayConfig(max_wait_ms=0.0)
+        with pytest.raises(ValueError):
+            GatewayConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(rate_limit=-1.0)
