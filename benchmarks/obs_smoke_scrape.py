@@ -1,18 +1,22 @@
 """CI gate for the live observability surface.
 
-Launches ``repro serve --gateway --metrics-port 0 --hold --trace-out ...``
-against an artifact directory, then validates everything the endpoint
-promises:
+Launches ``repro serve --ann --gateway --metrics-port 0 --hold
+--trace-out ...`` against an artifact directory, then validates
+everything the endpoint promises:
 
 * ``/healthz`` answers,
 * ``/metrics`` is strictly Prometheus-parseable
   (:func:`repro.obs.parse_prometheus`) and contains every core serving
   series plus every gateway family (the gateway pre-seeds its label
   series, so shed/flush-trigger families are scrapeable from request one),
-* ``/stats`` is JSON with the stable :meth:`ServingStats.snapshot` keys,
+  including a live ``ann_index_bytes{tier,kind}`` hot-tier series for the
+  attached ANN index,
+* ``/stats`` is JSON with the stable :meth:`ServingStats.snapshot` keys
+  (now including the ``ann_index_bytes_*`` tier totals),
 * the written Chrome trace is valid trace-event JSON holding one complete
   span tree per served request, including the ``gateway.admit`` /
-  ``gateway.batch`` spans the gateway wraps around admission and flushes.
+  ``gateway.batch`` spans the gateway wraps around admission and flushes
+  and the ``ann.coarse`` / ``ann.merge`` spans of the two-stage search.
 
 Any violation exits non-zero, which is the CI failure.
 
@@ -44,6 +48,7 @@ REQUIRED_FAMILIES = (
     "serving_batch_duration_seconds",
     "serving_queue_depth",
     "serving_cache_entries",
+    "ann_index_bytes",
 )
 
 #: gateway families (``repro serve --gateway``); the gateway pre-seeds the
@@ -62,6 +67,7 @@ REQUIRED_STATS_KEYS = (
     "requests", "warm_requests", "cold_requests", "batches",
     "latency_p50_ms", "latency_p99_ms", "qps",
     "queue_wait_p99_ms", "batch_duration_p50_ms",
+    "ann_index_bytes_hot", "ann_index_bytes_cold", "ann_index_bytes_total",
 )
 
 
@@ -100,6 +106,19 @@ def validate_exposition(text: str) -> None:
     check(served >= 4, f"expected >=4 served requests in /metrics, saw {served}")
     latency_count = samples.get(("serving_request_latency_seconds_count", ()), 0)
     check(latency_count >= 1, "request latency histogram recorded no observations")
+    # --ann attaches a real index, so the memory gauge must report a live
+    # hot tier under a non-"none" kind (the family is pre-seeded, but the
+    # pre-seed is kind="none" with zero bytes).
+    ann_hot = {
+        dict(labels).get("kind"): value
+        for (name, labels), value in samples.items()
+        if name == "ann_index_bytes" and dict(labels).get("tier") == "hot"
+    }
+    live_kinds = {k: v for k, v in ann_hot.items() if k != "none" and v > 0}
+    check(
+        bool(live_kinds),
+        f"ann_index_bytes has no live hot-tier series (saw {ann_hot})",
+    )
 
 
 def validate_stats(payload: bytes) -> None:
@@ -128,8 +147,11 @@ def validate_trace(path: str) -> None:
     requests = [e for e in complete if e["name"] == "request"]
     check(len(requests) >= 4, f"expected >=4 request spans, found {len(requests)}")
     names = {e["name"] for e in complete}
+    # serving runs with --ann, so the batch path traces the two-stage ANN
+    # search (coarse probe + fine scoring + merge) instead of engine.topk
     for required in (
-        "request", "cache.lookup", "flush", "engine.topk",
+        "request", "cache.lookup", "flush",
+        "ann.coarse", "ann.merge",
         "gateway.admit", "gateway.batch",
     ):
         check(required in names, f"trace is missing {required!r} spans")
@@ -158,7 +180,8 @@ def main() -> int:
     process = subprocess.Popen(
         [
             sys.executable, "-u", "-m", "repro", "serve", artifacts,
-            "--gateway", "--metrics-port", "0", "--hold", "--trace-out", trace_path,
+            "--ann", "--gateway", "--metrics-port", "0", "--hold",
+            "--trace-out", trace_path,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,

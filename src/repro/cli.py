@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .data.registry import available_datasets
 from .experiments import PAPER_HPARAMS
-from .experiments.artifacts import ANN_FILENAME, INDEX_FILENAME, Experiment
+from .experiments.artifacts import ANN_DIRNAME, ANN_FILENAME, INDEX_FILENAME, Experiment
 from .experiments.registry import (
     available_models,
     model_display_name,
@@ -268,7 +268,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         from .eval.ann import ann_recall_report
 
         try:
-            ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+            ann = experiment.ann_index(
+                n_lists=args.ann_lists,
+                nprobe=args.ann_nprobe,
+                kind=args.ann_kind,
+                memory_ceiling_bytes=args.memory_ceiling,
+            )
         except ExportError as error:
             print(f"--ann-check needs a servable index: {error}", file=sys.stderr)
             return 1
@@ -282,15 +287,23 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         failed = False
         for label, arm in report["arms"].items():
             recall = arm["recall_at_k"]
-            # the exact-fine default operating point is the gated one; the
-            # int8 arm is informational (its recall ceiling is quantization)
-            gated = arm["scorer"] == "exact"
+            # gate the arms whose results are exact after re-rank: the
+            # exact-fine operating point and (when PQ is the default
+            # scorer) the ADC+re-rank arm.  The int8 arm stays
+            # informational — its recall ceiling is quantization itself.
+            gated = arm["scorer"] == "exact" or (
+                arm["scorer"] == "pq"
+                and getattr(ann, "default_scorer", None) == "pq"
+            )
             status = ""
             if gated and recall < args.ann_recall_floor:
                 status = f"  FAIL (< {args.ann_recall_floor})"
                 failed = True
+            layout = (
+                f"lists={ann.n_lists}" if hasattr(ann, "n_lists") else ann.kind
+            )
             print(
-                f"ann {label} (lists={ann.n_lists}): "
+                f"ann {label} ({layout}): "
                 f"recall@{report['k']}={recall:.4f} vs exact over "
                 f"{report['evaluated_users']} users{status}"
             )
@@ -323,19 +336,52 @@ def cmd_export(args: argparse.Namespace) -> int:
         f"{index.n_items} items, {len(index.branches)} branches, "
         f"{index.memory_bytes() / 1e3:.0f} kB -> {path}"
     )
-    if args.ann:
-        from .serving.ann import build_ivf
+    if args.ann or args.ann_kind is not None or args.memory_ceiling is not None:
+        from .serving.ann import build_ivf, build_pq
 
-        ann = build_ivf(index, n_lists=args.ann_lists, nprobe=args.ann_nprobe)
-        ann_path = ann.save(os.path.join(args.artifacts, ANN_FILENAME))
-        quantized_note = (
-            f", int8 codes {ann.quantized.memory_bytes() / 1e3:.0f} kB"
-            if ann.quantized is not None
+        kind = args.ann_kind or "ivf"
+        if args.memory_ceiling is not None and kind == "pq":
+            print(
+                "--memory-ceiling needs an IVF kind (the tiered layout pages "
+                "IVF lists); use --ann-kind ivf or ivf-pq",
+                file=sys.stderr,
+            )
+            return 1
+        if kind == "pq":
+            ann = build_pq(index)
+            ann_path = ann.save(os.path.join(args.artifacts, ANN_FILENAME))
+        else:
+            ann = build_ivf(
+                index,
+                n_lists=args.ann_lists,
+                nprobe=args.ann_nprobe,
+                pq=(kind == "ivf-pq"),
+            )
+            if args.memory_ceiling is not None:
+                # Tiered serving attaches to an include_items dir archive
+                # (mmap-able per-array .npy files), not the compact npz.
+                ann_path = ann.save(
+                    os.path.join(args.artifacts, ANN_DIRNAME),
+                    format="dir",
+                    include_items=True,
+                )
+            else:
+                ann_path = ann.save(os.path.join(args.artifacts, ANN_FILENAME))
+        report = ann.memory_report()
+        tier_note = (
+            f", ceiling {args.memory_ceiling / 1e6:.0f} MB (tiered dir archive)"
+            if args.memory_ceiling is not None
+            else ""
+        )
+        lists_note = (
+            f"{ann.n_lists} lists, default nprobe {ann.nprobe}, "
+            if hasattr(ann, "n_lists")
             else ""
         )
         print(
-            f"exported ANN index: {ann.n_lists} lists, default nprobe "
-            f"{ann.nprobe}{quantized_note} -> {ann_path}"
+            f"exported ANN index ({report['kind']}): {lists_note}"
+            f"{report['bytes_per_item']:.1f} B/item"
+            f"{tier_note} -> {ann_path}"
         )
     return 0
 
@@ -353,8 +399,13 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         return 1
     users = [int(u) for u in args.users.split(",")] if args.users else None
     ann = None
-    if args.ann:
-        ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
+    if args.ann or args.ann_kind is not None or args.memory_ceiling is not None:
+        ann = experiment.ann_index(
+            n_lists=args.ann_lists,
+            nprobe=args.ann_nprobe,
+            kind=args.ann_kind,
+            memory_ceiling_bytes=args.memory_ceiling,
+        )
     tracer = _make_tracer(args, "repro-recommend")
     start = time.perf_counter()
     recommendations = recommend_all(
@@ -391,12 +442,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args, "repro-serve")
     try:
         ann = None
-        if args.ann:
-            ann = experiment.ann_index(n_lists=args.ann_lists, nprobe=args.ann_nprobe)
-            print(
-                f"approximate retrieval: {ann.n_lists} lists, nprobe {ann.nprobe} "
-                "(filters and exclusions apply at re-rank)"
+        if args.ann or args.ann_kind is not None or args.memory_ceiling is not None:
+            ann = experiment.ann_index(
+                n_lists=args.ann_lists,
+                nprobe=args.ann_nprobe,
+                kind=args.ann_kind,
+                memory_ceiling_bytes=args.memory_ceiling,
             )
+            if hasattr(ann, "n_lists"):
+                print(
+                    f"approximate retrieval ({ann.kind}): {ann.n_lists} lists, "
+                    f"nprobe {ann.nprobe} (filters and exclusions apply at re-rank)"
+                )
+            else:
+                print(
+                    f"approximate retrieval ({ann.kind}): "
+                    f"{ann.bytes_per_item:.1f} B/item full-scan ADC, exact re-rank"
+                )
         service = experiment.service(default_k=args.k, ann=ann, tracer=tracer)
     except ExportError as error:
         print(f"cannot serve this artifact: {error}", file=sys.stderr)
@@ -519,6 +581,18 @@ def _add_ann_build_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ann-nprobe", type=int, default=None,
         help="default lists probed per query (default: 1/8 of the lists)",
+    )
+    parser.add_argument(
+        "--ann-kind", choices=("ivf", "ivf-pq", "pq"), default=None,
+        help="index family: exact-fine IVF (default), IVF with "
+        "product-quantized ADC candidates + exact re-rank, or a "
+        "standalone full-scan PQ index",
+    )
+    parser.add_argument(
+        "--memory-ceiling", type=int, default=None, metavar="BYTES",
+        help="tiered layout: keep the ANN index's resident footprint under "
+        "this many bytes (hot lists in RAM, the rest mmap-paged; "
+        "IVF kinds only)",
     )
 
 

@@ -80,8 +80,9 @@ def ann_recall_report(
 
     ``nprobes`` defaults to the index's own default operating point; pass
     several to sweep the recall curve.  ``scorers`` selects the fine-stage
-    arms (``"exact"`` and — for an IVF index with a quantized companion —
-    ``"int8"``).  Returns a JSON-safe report keyed
+    arms (``"exact"``, plus ``"int8"`` / ``"pq"`` for an IVF index carrying
+    those companions; a full-scan index runs its single arm regardless).
+    Returns a JSON-safe report keyed
     ``arms[f"nprobe{n}_{scorer}"] -> {"recall_at_k": ...}``.
     """
     users = np.asarray(list(users), dtype=np.int64)

@@ -42,6 +42,8 @@ SPEC_FILENAME = "spec.json"
 CHECKPOINT_FILENAME = "checkpoint.npz"
 INDEX_FILENAME = "index.npz"
 ANN_FILENAME = "ann.npz"
+#: dir-format ANN archive (mmap-able; required for tiered loading)
+ANN_DIRNAME = "ann"
 METRICS_FILENAME = "metrics.json"
 LOSS_CURVE_FILENAME = "loss_curve.json"
 OBS_FILENAME = "observability.json"
@@ -122,31 +124,112 @@ class Experiment:
         nprobe: Optional[int] = None,
         seed: int = 0,
         quantize: bool = True,
+        kind: Optional[str] = None,
+        pq_subspace_dim: int = 4,
+        pq_rotation: bool = False,
+        memory_ceiling_bytes: Optional[int] = None,
+        hot_fraction: Optional[float] = None,
+        train_sample: Optional[int] = None,
     ):
         """The experiment's ANN index: saved structure if present, else built.
 
-        A saved ``ann.npz`` (written by ``repro export --ann``) is
-        re-attached to the experiment's embedding index; otherwise an
-        :class:`~repro.serving.ann.IVFIndex` is built fresh.  Explicit
-        arguments always win over the saved artifact: a requested
-        ``nprobe`` overrides the stored default operating point in place,
-        and a requested ``n_lists`` that differs from the saved layout
-        triggers a fresh build (the list count is baked into the k-means
-        partition; silently serving the old one would ignore the request).
+        A saved artifact (``ann/`` dir archive or ``ann.npz``, written by
+        ``repro export --ann``/``--ann-kind``) is re-attached to the
+        experiment's embedding index; otherwise an index of the requested
+        ``kind`` (``ivf`` — the default, ``ivf-pq``, ``pq``) is built
+        fresh.  Explicit arguments always win over the saved artifact: a
+        requested ``nprobe`` overrides the stored default operating point
+        in place, and a requested ``n_lists`` or ``kind`` that disagrees
+        with the saved layout triggers a fresh build (both are baked into
+        the build; silently serving the old one would ignore the request).
+
+        ``memory_ceiling_bytes`` / ``hot_fraction`` select the **tiered**
+        loader: the saved dir archive must carry the permuted item payload
+        (``repro export --ann-kind ... --memory-ceiling``), which is then
+        mmap-opened with only the hottest lists resident.
         """
-        from ..serving.ann import IVFIndex, build_ivf  # deferred: keeps import light
+        from ..serving.ann import (  # deferred: keeps import light
+            IVFIndex,
+            PQIndex,
+            TieredIndexConfig,
+            TieredIVFIndex,
+            build_ivf,
+            build_pq,
+        )
+        from ..serving.ann.ivf import IVF_KIND
+        from ..serving.ann.pq import PQ_KIND
+        from ..train import persistence
+
+        if kind is not None and kind not in ("ivf", "ivf-pq", "pq"):
+            raise ValueError(f"kind must be 'ivf', 'ivf-pq' or 'pq', got {kind!r}")
+        tiered = memory_ceiling_bytes is not None or hot_fraction is not None
+        config = (
+            TieredIndexConfig(
+                hot_fraction=hot_fraction, memory_ceiling_bytes=memory_ceiling_bytes
+            )
+            if tiered
+            else None
+        )
 
         if self.artifacts_dir is not None:
-            path = os.path.join(self.artifacts_dir, ANN_FILENAME)
-            if os.path.exists(path):
-                saved = IVFIndex.load(path, self.index)
+            for name in (ANN_DIRNAME, ANN_FILENAME):
+                path = os.path.join(self.artifacts_dir, name)
+                if not os.path.exists(path):
+                    continue
+                metadata = persistence.read_archive_metadata(path)
+                archive_kind = persistence.archive_kind(metadata)
+                if archive_kind == PQ_KIND:
+                    if kind not in (None, "pq") or tiered:
+                        continue  # a different kind was requested: rebuild
+                    return PQIndex.load(path, self.index)
+                if archive_kind != IVF_KIND:
+                    continue
+                saved_kind = "ivf-pq" if metadata.get("pq") is not None else "ivf"
+                if kind is not None and kind != saved_kind:
+                    continue
+                if tiered:
+                    if not metadata.get("include_items"):
+                        continue  # payload-less archive cannot back a cold tier
+                    saved = TieredIVFIndex.load(path, self.index, config)
+                else:
+                    saved = IVFIndex.load(path, self.index)
                 if n_lists is None or int(n_lists) == saved.n_lists:
                     if nprobe is not None:
                         saved.nprobe = max(1, min(int(nprobe), saved.n_lists))
                     return saved
-        return build_ivf(
-            self.index, n_lists=n_lists, nprobe=nprobe, seed=seed, quantize=quantize
+
+        if kind == "pq":
+            return build_pq(
+                self.index,
+                subspace_dim=pq_subspace_dim,
+                rotation=pq_rotation,
+                seed=seed,
+                train_sample=train_sample,
+            )
+        ann = build_ivf(
+            self.index,
+            n_lists=n_lists,
+            nprobe=nprobe,
+            seed=seed,
+            quantize=quantize,
+            pq=(kind == "ivf-pq"),
+            pq_subspace_dim=pq_subspace_dim,
+            pq_rotation=pq_rotation,
+            train_sample=train_sample,
         )
+        if not tiered:
+            return ann
+        # Tiered serving needs a dir archive to page from: stage one next
+        # to the other artifacts and reopen it mmap-backed.
+        if self.artifacts_dir is None:
+            raise ValueError(
+                "tiered ANN loading needs an artifacts directory to stage "
+                "the mmap archive in (save the experiment first, or use "
+                "`repro export --ann-kind ... --memory-ceiling`)"
+            )
+        path = os.path.join(self.artifacts_dir, ANN_DIRNAME)
+        ann.save(path, format="dir", include_items=True)
+        return TieredIVFIndex.load(path, self.index, config)
 
     def topk(
         self, users: Sequence[int], k: int = 10, exclude_train: bool = True,

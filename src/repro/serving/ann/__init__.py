@@ -1,19 +1,28 @@
-"""Approximate retrieval: int8-quantized embeddings + IVF two-stage search.
+"""Approximate retrieval: quantized embeddings + IVF two-stage search.
 
 Exact full-catalog retrieval costs one dense matmul over every item per
 request — linear in catalog size, which caps throughput no matter how
 parallel the runtime gets.  This package is the standard production
-answer, built natively on the repo's numpy substrate:
+answer, built natively on the repo's numpy substrate, as a compression
+ladder:
 
 * :class:`QuantizedIndex` — int8 scalar quantization of the item factors
   (per-branch scale/zero-point, integer-accumulated scoring): ~4-8x less
   item-side memory, usable standalone as a full-scan approximate index or
   as the IVF fine-stage ``int8`` scorer;
+* :class:`PQIndex` (:func:`build_pq`) — per-branch product-quantization
+  codebooks (subspace k-means, uint8 codes, ADC lookup-table scoring
+  with a mandatory exact re-rank): 16-64x less item-side memory, plus an
+  optional learned OPQ-style rotation;
 * :class:`IVFIndex` (:func:`build_ivf`) — a k-means coarse quantizer with
   contiguous per-list storage and a two-stage search that re-ranks the
   probed pool *exactly* in the index dtype, so ``nprobe`` trades recall
   for time along a measured curve and full probe is bit-identical to
-  exact search.
+  exact search; ``build_ivf(..., pq=True)`` makes PQ the fine stage;
+* :class:`TieredIVFIndex` (:class:`TieredIndexConfig`) — the same IVF
+  search over an mmap dir archive, with the heaviest-probed lists
+  resident in RAM and everything else OS-paged under an explicit memory
+  ceiling: the 1M+ item layout.
 
 Quickstart::
 
@@ -21,18 +30,27 @@ Quickstart::
     from repro.serving.ann import build_ivf
 
     index = export_index(trained_model, dataset)
-    ann = build_ivf(index)                     # ~sqrt(n)/2 lists, nprobe = 1/8
+    ann = build_ivf(index, pq=True)            # ADC candidates + exact re-rank
     service = RecommenderService(index, ann=ann)
     service.recommend(user=42)                 # two-stage, filters at re-rank
 
-``benchmarks/bench_ann.py`` sweeps ``nprobe`` x {exact, int8} fine scoring
-and commits the recall/speedup curve (``BENCH_ann.json``); CI gates the
-default operating point at recall@50 >= 0.95 and fails on speed
-regressions.
+``benchmarks/bench_ann.py`` sweeps ``nprobe`` x {exact, int8, pq} fine
+scoring plus the tiered 1M-item layout and commits the
+recall/speedup/memory curve (``BENCH_ann.json``); CI gates the default
+operating point at recall@50 >= 0.95, recall@10 per arm, the declared
+memory ceiling, and fails on speed regressions.
 """
 
 from .ivf import IVFIndex, build_ivf, combined_item_vectors, default_n_lists, default_nprobe
-from .kmeans import kmeans
+from .kmeans import assign_labels, kmeans
+from .pq import (
+    PQBranch,
+    PQIndex,
+    build_pq,
+    score_candidates_exact,
+    score_pq_block,
+    subspace_splits,
+)
 from .quantize import (
     QuantizedBranch,
     QuantizedIndex,
@@ -40,6 +58,7 @@ from .quantize import (
     quantize_items,
     quantize_queries,
 )
+from .tiered import TieredIndexConfig, TieredIVFIndex
 
 __all__ = [
     "IVFIndex",
@@ -47,10 +66,19 @@ __all__ = [
     "combined_item_vectors",
     "default_n_lists",
     "default_nprobe",
+    "assign_labels",
     "kmeans",
+    "PQBranch",
+    "PQIndex",
+    "build_pq",
+    "score_candidates_exact",
+    "score_pq_block",
+    "subspace_splits",
     "QuantizedBranch",
     "QuantizedIndex",
     "accumulate_codes",
     "quantize_items",
     "quantize_queries",
+    "TieredIndexConfig",
+    "TieredIVFIndex",
 ]

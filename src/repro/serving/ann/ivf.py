@@ -30,7 +30,13 @@ trades recall for time along a measured curve (``BENCH_ann.json``).
 
 An optional :class:`~.quantize.QuantizedIndex` companion supplies an
 ``int8`` fine-stage scorer (integer-accumulated, approximate) next to the
-default exact one.
+default exact one, and an optional :class:`~.pq.PQIndex` companion
+supplies a ``pq`` scorer: each probed list is scored by ADC table
+lookups (16-64x smaller item payload) and keeps its ADC top
+``rerank_factor * k``, and *every* survivor is then re-scored exactly
+before the final top-``k`` — ADC chooses candidates per list, exact
+scoring orders them, so recall depends only on an item's ADC rank inside
+its own (bounded-width) list and keeps holding as catalogs grow.
 """
 
 from __future__ import annotations
@@ -45,15 +51,24 @@ from ...data.dataset import expand_csr_rows
 from ...eval.topk import NEG_INF, partition_topk_rows, topk_pairs_rows
 from ...obs.trace import maybe_span
 from ...train import persistence
-from .kmeans import kmeans
+from .kmeans import assign_labels, kmeans
+from .pq import (
+    PQBranch,
+    PQIndex,
+    build_pq_branch,
+    score_candidates_exact,
+    score_pq_block,
+)
 from .quantize import QuantizedBranch, QuantizedIndex, score_quantized_block
 
 IVF_KIND = "ivf_index"
 
-#: bump when the array layout changes incompatibly
-FORMAT_VERSION = 1
+#: bump when the array layout changes incompatibly; v2 adds the optional
+#: PQ companion and the optional permuted item payload (tiered layouts) —
+#: v1 archives still load
+FORMAT_VERSION = 3
 
-SCORERS = ("exact", "int8")
+SCORERS = ("exact", "int8", "pq")
 
 
 def default_n_lists(n_items: int) -> int:
@@ -121,6 +136,11 @@ class IVFIndex:
         nprobe: int,
         quantized: Optional[QuantizedIndex] = None,
         seed: int = 0,
+        pq: Optional[PQIndex] = None,
+        default_scorer: Optional[str] = None,
+        rerank_factor: int = 8,
+        perm_items: Optional[Sequence[Tuple[np.ndarray, Optional[np.ndarray]]]] = None,
+        pq_list_means: Optional[Sequence[np.ndarray]] = None,
     ) -> None:
         self.index = index
         self.n_users = index.n_users
@@ -153,18 +173,35 @@ class IVFIndex:
         )
 
         # Contiguous per-list item-side storage: the fine stage slices these
-        # instead of gathering scattered rows per request.
+        # instead of gathering scattered rows per request.  A caller that
+        # already has the permuted arrays — a tiered loader holding mmap
+        # views of an ``include_items`` archive — passes them as
+        # ``perm_items`` so no gathered RAM copy is ever made.
         perm = self.list_items
-        self._perm_branches = [
-            ScoreBranch(
-                user=branch.user,
-                item=branch.item[perm],
-                item_const=None if branch.item_const is None else branch.item_const[perm],
-                user_const=branch.user_const,
-                weight=branch.weight,
-            )
-            for branch in index.branches
-        ]
+        if perm_items is not None:
+            if len(perm_items) != len(index.branches):
+                raise ValueError("one permuted item array pair per branch")
+            self._perm_branches = [
+                ScoreBranch(
+                    user=branch.user,
+                    item=item,
+                    item_const=item_const,
+                    user_const=branch.user_const,
+                    weight=branch.weight,
+                )
+                for branch, (item, item_const) in zip(index.branches, perm_items)
+            ]
+        else:
+            self._perm_branches = [
+                ScoreBranch(
+                    user=branch.user,
+                    item=branch.item[perm],
+                    item_const=None if branch.item_const is None else branch.item_const[perm],
+                    user_const=branch.user_const,
+                    weight=branch.weight,
+                )
+                for branch in index.branches
+            ]
         self.quantized = quantized
         if quantized is not None:
             if quantized.n_items != self.n_items:
@@ -172,12 +209,59 @@ class IVFIndex:
             self._perm_codes = [qb.q_item[perm] for qb in quantized.quantized]
         else:
             self._perm_codes = None
+        self.pq = pq
+        if pq is not None:
+            if pq.n_items != self.n_items:
+                raise ValueError("PQ companion was built for a different catalog")
+            self._perm_pq_codes = [pb.codes[perm] for pb in pq.pq]
+        else:
+            self._perm_pq_codes = None
+        # Residual-PQ anchor: per branch, each list's mean factor row.  The
+        # codes then encode item − mean(list) — within-list differences,
+        # which is where ADC precision matters — and the fine stage adds
+        # u·mean(list) back per probed list (see score_pq_block).
+        self._pq_list_means: Optional[List[np.ndarray]] = None
+        if pq_list_means is not None:
+            if pq is None:
+                raise ValueError("pq_list_means without a PQ companion")
+            if len(pq_list_means) != len(index.branches):
+                raise ValueError("one list-mean matrix per branch")
+            self._pq_list_means = []
+            for branch, m in zip(index.branches, pq_list_means):
+                m = np.ascontiguousarray(m, dtype=np.float64)
+                if m.shape != (self.n_lists, branch.item.shape[1]):
+                    raise ValueError(
+                        f"list means must be ({self.n_lists}, "
+                        f"{branch.item.shape[1]}), got {m.shape}"
+                    )
+                self._pq_list_means.append(m)
+        self.rerank_factor = max(1, int(rerank_factor))
+        if default_scorer is None:
+            # A PQ companion exists to be *used*: it becomes the default
+            # operating point, with exact re-rank keeping recall honest.
+            default_scorer = "pq" if pq is not None else "exact"
+        if default_scorer not in self.scorers:
+            raise ValueError(
+                f"default scorer {default_scorer!r} is not available "
+                f"(have {self.scorers})"
+            )
+        self.default_scorer = default_scorer
 
     # ------------------------------------------------------------------
     @property
     def scorers(self) -> Tuple[str, ...]:
         """Fine-stage scorers this index supports."""
-        return SCORERS if self.quantized is not None else ("exact",)
+        available = ["exact"]
+        if self.quantized is not None:
+            available.append("int8")
+        if self.pq is not None:
+            available.append("pq")
+        return tuple(available)
+
+    @property
+    def kind(self) -> str:
+        """Index-kind label for memory reports and gauges."""
+        return "ivf-pq" if self.pq is not None else "ivf"
 
     def list_sizes(self) -> np.ndarray:
         return np.diff(self.list_indptr)
@@ -191,7 +275,39 @@ class IVFIndex:
                 total += branch.item_const.nbytes
         if self._perm_codes is not None:
             total += sum(codes.nbytes for codes in self._perm_codes)
+        if self.pq is not None:
+            total += sum(codes.nbytes for codes in self._perm_pq_codes)
+            total += sum(pb.table_bytes() for pb in self.pq.pq)
+            if self._pq_list_means is not None:
+                total += sum(m.nbytes for m in self._pq_list_means)
         return total
+
+    @property
+    def bytes_total(self) -> int:
+        """Everything this index owns (alias of :meth:`memory_bytes`)."""
+        return int(self.memory_bytes())
+
+    @property
+    def bytes_per_item(self) -> float:
+        """Item-side bytes per catalog item for the *default* fine scorer
+        (f32/f64 factors for ``exact``, int8 codes for ``int8``, uint8 PQ
+        codes for ``pq``) — the number the compression ladder compares."""
+        if self.default_scorer == "pq":
+            payload = sum(codes.nbytes for codes in self._perm_pq_codes)
+        elif self.default_scorer == "int8":
+            payload = sum(codes.nbytes for codes in self._perm_codes)
+        else:
+            payload = sum(b.item.nbytes for b in self._perm_branches)
+        return payload / max(1, self.n_items)
+
+    def memory_report(self) -> dict:
+        total = self.bytes_total
+        return {
+            "kind": self.kind,
+            "bytes_total": int(total),
+            "bytes_per_item": float(self.bytes_per_item),
+            "tiers": {"hot": int(total), "cold": 0},
+        }
 
     # ------------------------------------------------------------------
     def queries(self, users: np.ndarray) -> np.ndarray:
@@ -225,30 +341,41 @@ class IVFIndex:
         users: np.ndarray,
         k: int,
         nprobe: Optional[int] = None,
-        scorer: str = "exact",
+        scorer: Optional[str] = None,
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         candidate_mask: Optional[np.ndarray] = None,
         tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Two-stage top-``k`` for a batch of users.
 
-        ``exclude_csr`` is the per-user train-positive mask as
-        ``(indptr, indices)``; ``candidate_mask`` a boolean ``(n_items,)``
-        filter mask.  Both apply at the re-rank stage: probed candidates
-        that are excluded or filtered are pushed to ``-inf`` *after* exact
-        scoring, so masking never changes which lists are probed (a
-        filtered request probes the same geometry as an unfiltered one).
+        ``scorer`` defaults to the index's :attr:`default_scorer` —
+        ``exact`` unless a PQ companion is attached.  ``exclude_csr`` is
+        the per-user train-positive mask as ``(indptr, indices)``;
+        ``candidate_mask`` a boolean ``(n_items,)`` filter mask.  Both
+        apply at the fine stage: probed candidates that are excluded or
+        filtered are pushed to ``-inf`` *after* scoring, so masking never
+        changes which lists are probed (a filtered request probes the same
+        geometry as an unfiltered one), and — for the ``pq`` scorer —
+        *before* candidate selection, so the exact re-rank can never
+        resurrect a masked item.
 
         Returns dense ``(len(users), k)`` ``(ids, scores)`` in the index
         dtype; slots past a user's surviving candidate pool carry the
         ``-1`` / ``-inf`` sentinel (same contract as the batch runtime).
+        For the ``pq`` scorer the returned scores are exact (re-ranked).
         """
+        scorer = self.default_scorer if scorer is None else scorer
         if scorer not in SCORERS:
             raise ValueError(f"scorer must be one of {SCORERS}, got {scorer!r}")
         if scorer == "int8" and self.quantized is None:
             raise ValueError(
                 "this IVF index was built without a quantized companion; "
                 "rebuild with quantize=True for int8 fine scoring"
+            )
+        if scorer == "pq" and self.pq is None:
+            raise ValueError(
+                "this IVF index was built without a PQ companion; "
+                "rebuild with pq=True for PQ fine scoring"
             )
         users = np.asarray(users, dtype=np.int64)
         k = min(int(k), self.n_items)
@@ -286,13 +413,17 @@ class IVFIndex:
                 )
         row_local = np.full(n, -1, dtype=np.int64)
 
-        # Each probed list contributes at most k survivors (its masked
-        # local top-k — selection is monotone under the (score desc, id
-        # asc) order, so a user's global top-k item is always inside its
+        # Each probed list contributes at most `local_cap` survivors (its
+        # masked local top-k — selection is monotone under the (score desc,
+        # id asc) order, so a user's global top-k item is always inside its
         # own list's local top-k, the ShardedIndex argument).  That bounds
-        # the merge pool at nprobe * k instead of the full probed width.
+        # the merge pool at nprobe * cap instead of the full probed width.
+        # The pq scorer over-fetches: ADC ranks are approximate, so each
+        # list keeps rerank_factor * k survivors and the exact re-rank
+        # below decides the final order.
+        local_cap = k if scorer != "pq" else min(self.rerank_factor * k, self.n_items)
         sizes = self.list_sizes()
-        pool_sizes = np.minimum(sizes, k)[probes].sum(axis=1)
+        pool_sizes = np.minimum(sizes, local_cap)[probes].sum(axis=1)
         width_max = int(pool_sizes.max())
 
         # Padded per-user candidate pools.  The id sentinel is n_items (not
@@ -314,10 +445,11 @@ class IVFIndex:
 
         # begin()/finish() rather than a with-block: the loop is long and
         # an exception mid-fine leaves the span unfinished, which exporters
-        # simply drop.
+        # simply drop.  ADC table-lookup scoring gets its own span name so
+        # traces distinguish it from the exact/int8 fine stages.
         fine_span = (
             tracer.begin(
-                "ann.fine", cat="ann",
+                "ann.fine.adc" if scorer == "pq" else "ann.fine", cat="ann",
                 attrs={"n_segments": len(starts), "scorer": scorer},
             )
             if tracer is not None
@@ -331,22 +463,7 @@ class IVFIndex:
             if width == 0:
                 continue
             rows = sorted_rows[lo:hi]
-            if scorer == "exact":
-                part = score_branches(self._perm_branches, users[rows], start, stop)
-            else:
-                part = score_quantized_block(
-                    self._perm_branches,
-                    self.quantized.quantized,
-                    [codes[start:stop] for codes in self._perm_codes],
-                    # item_const of a _perm_branch is already in permuted
-                    # order — slice it, never re-permute it
-                    [
-                        None if b.item_const is None else b.item_const[start:stop]
-                        for b in self._perm_branches
-                    ],
-                    users[rows],
-                    self.dtype,
-                )
+            part = self._score_segment(scorer, users[rows], lst, start, stop)
             seg_ids = self.list_items[start:stop]
             if mask_perm is not None:
                 part[:, ~mask_perm[start:stop]] = NEG_INF
@@ -361,11 +478,11 @@ class IVFIndex:
                         part[local[inside], ex_positions[a:b][inside] - start] = NEG_INF
                     row_local[rows] = -1
 
-            if width > k:
-                local = _local_topk_set(part, k)
+            if width > local_cap:
+                local = _local_topk_set(part, local_cap)
                 seg_out_ids = seg_ids[local]
                 seg_out_scores = np.take_along_axis(part, local, axis=1)
-                width = k
+                width = local_cap
             else:
                 seg_out_ids = np.broadcast_to(seg_ids[None, :], part.shape)
                 seg_out_scores = part
@@ -377,6 +494,23 @@ class IVFIndex:
 
         if fine_span is not None:
             fine_span.finish()
+
+        if scorer == "pq":
+            # Exact re-rank of EVERY ADC survivor: the per-list cap above is
+            # the only approximation, so recall depends on an item's ADC rank
+            # within its own list (bounded width), never on its ADC rank
+            # across the whole probe pool (which grows with nprobe and
+            # catalog size — cutting there collapses recall at scale).
+            # Masked/padding entries carry -inf ADC scores, so `valid` keeps
+            # them out — re-ranking can never resurrect an excluded item.
+            with maybe_span(
+                tracer, "ann.rerank", cat="ann",
+                attrs={"candidates": int(ids.shape[1])},
+            ):
+                valid = scores > NEG_INF
+                exact = self._rerank_exact(users, np.where(valid, ids, 0))
+                scores = np.where(valid, exact, self.dtype.type(NEG_INF))
+                ids = np.where(valid, ids, self.n_items)
 
         with maybe_span(tracer, "ann.merge", cat="ann"):
             sel = topk_pairs_rows(ids, scores, k)
@@ -392,11 +526,74 @@ class IVFIndex:
         return top_ids, top_scores
 
     # ------------------------------------------------------------------
+    # Fine-stage storage hooks (tiered layouts override these)
+    # ------------------------------------------------------------------
+    def _score_segment(
+        self, scorer: str, users_sel: np.ndarray, lst: int, start: int, stop: int
+    ) -> np.ndarray:
+        """Fine-stage scores of one probed list for its probing users.
+
+        Storage access is funneled through this hook (and
+        :meth:`_rerank_exact`) so :class:`~.tiered.TieredIVFIndex` can swap
+        what backs a list — hot resident copy vs cold mmap page — without
+        touching the search loop above.
+        """
+        if scorer == "exact":
+            return score_branches(self._perm_branches, users_sel, start, stop)
+        if scorer == "pq":
+            return score_pq_block(
+                self._perm_branches,
+                self.pq.pq,
+                [codes[start:stop] for codes in self._perm_pq_codes],
+                # item_const of a _perm_branch is already in permuted
+                # order — slice it, never re-permute it
+                [
+                    None if b.item_const is None else b.item_const[start:stop]
+                    for b in self._perm_branches
+                ],
+                users_sel,
+                self.dtype,
+                means=(
+                    None
+                    if self._pq_list_means is None
+                    else [m[lst] for m in self._pq_list_means]
+                ),
+            )
+        return score_quantized_block(
+            self._perm_branches,
+            self.quantized.quantized,
+            [codes[start:stop] for codes in self._perm_codes],
+            [
+                None if b.item_const is None else b.item_const[start:stop]
+                for b in self._perm_branches
+            ],
+            users_sel,
+            self.dtype,
+        )
+
+    def _rerank_exact(self, users: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Exact scores for ``(len(users), m)`` global candidate ids.
+
+        Gathers from the permuted storage through ``_item_position`` — the
+        same arrays the fine stage slices, so for a tiered index a cold
+        candidate costs one page fault, not a resident copy.
+        """
+        positions = self._item_position[np.asarray(candidates, dtype=np.int64)]
+        return score_candidates_exact(self._perm_branches, users, positions, self.dtype)
+
+    # ------------------------------------------------------------------
     # Serialization (same archive layer as EmbeddingIndex / checkpoints)
     # ------------------------------------------------------------------
-    def save(self, path: str, format: str = "npz") -> str:
-        """Persist the IVF structure (and int8 codes); the source index is
-        referenced by shape/name, not duplicated."""
+    def save(self, path: str, format: str = "npz", include_items: bool = False) -> str:
+        """Persist the IVF structure (and int8/PQ codes); the source index
+        is referenced by shape/name, not duplicated.
+
+        ``include_items=True`` additionally stores the *permuted* item-side
+        factor arrays — self-contained list-contiguous storage that a
+        tiered loader can mmap and page per list instead of re-gathering
+        from the source index (see :mod:`.tiered`).  Pair it with
+        ``format="dir"`` so each array is its own mmap-able ``.npy``.
+        """
         if format not in ("npz", "dir"):
             raise ValueError(f"format must be 'npz' or 'dir', got {format!r}")
         arrays = {
@@ -409,6 +606,35 @@ class IVFIndex:
             quantized_meta = self.quantized.quantization_params()
             for i, qb in enumerate(self.quantized.quantized):
                 arrays[f"branch{i}.q_item"] = qb.q_item
+        pq_meta = None
+        if self.pq is not None:
+            pq_branch_meta = []
+            for i, pb in enumerate(self.pq.pq):
+                arrays[f"pq.branch{i}.codes"] = pb.codes
+                for m, cb in enumerate(pb.codebooks):
+                    arrays[f"pq.branch{i}.codebook{m}"] = cb
+                if pb.rotation is not None:
+                    arrays[f"pq.branch{i}.rotation"] = pb.rotation
+                pq_branch_meta.append(
+                    {
+                        "n_subspaces": pb.n_subspaces,
+                        "splits": [[int(lo), int(hi)] for lo, hi in pb.splits],
+                        "rotation": pb.rotation is not None,
+                    }
+                )
+            if self._pq_list_means is not None:
+                for i, m in enumerate(self._pq_list_means):
+                    arrays[f"pq.means{i}"] = m
+            pq_meta = {
+                "branches": pq_branch_meta,
+                "rerank_factor": self.pq.rerank_factor,
+                "residual": self._pq_list_means is not None,
+            }
+        if include_items:
+            for i, branch in enumerate(self._perm_branches):
+                arrays[f"perm.branch{i}.item"] = branch.item
+                if branch.item_const is not None:
+                    arrays[f"perm.branch{i}.item_const"] = branch.item_const
         metadata = {
             persistence.KIND_KEY: IVF_KIND,
             "format_version": FORMAT_VERSION,
@@ -419,10 +645,55 @@ class IVFIndex:
             "nprobe": self.nprobe,
             "seed": self.seed,
             "quantized": quantized_meta,
+            "pq": pq_meta,
+            "default_scorer": self.default_scorer,
+            "rerank_factor": self.rerank_factor,
+            "include_items": bool(include_items),
         }
         if format == "dir":
             return persistence.write_archive_dir(path, arrays, metadata)
         return persistence.write_archive(path, arrays, metadata)
+
+    @staticmethod
+    def _load_pq(metadata: dict, arrays, index):
+        """Reconstruct the PQ companion (codes in *global* item order).
+
+        Returns ``(pq_index, pq_list_means)`` — means are ``None`` for
+        pre-residual archives, whose codes encode raw factors.
+        """
+        pq_meta = metadata.get("pq")
+        if pq_meta is None:
+            return None, None
+        branches = [
+            PQBranch(
+                codebooks=[
+                    np.asarray(arrays[f"pq.branch{i}.codebook{m}"], dtype=np.float64)
+                    for m in range(int(meta["n_subspaces"]))
+                ],
+                codes=np.ascontiguousarray(arrays[f"pq.branch{i}.codes"]),
+                rotation=(
+                    np.asarray(arrays[f"pq.branch{i}.rotation"], dtype=np.float64)
+                    if meta.get("rotation")
+                    else None
+                ),
+                splits=[(int(lo), int(hi)) for lo, hi in meta["splits"]],
+            )
+            for i, meta in enumerate(pq_meta["branches"])
+        ]
+        residual = bool(pq_meta.get("residual"))
+        means = None
+        if residual:
+            means = [
+                np.ascontiguousarray(arrays[f"pq.means{i}"], dtype=np.float64)
+                for i in range(len(branches))
+            ]
+        pq = PQIndex(
+            index,
+            branches,
+            rerank_factor=int(pq_meta.get("rerank_factor", 8)),
+            residual=residual,
+        )
+        return pq, means
 
     @classmethod
     def load(cls, path: str, index, mmap: bool = False) -> "IVFIndex":
@@ -456,6 +727,7 @@ class IVFIndex:
                     for i, meta in enumerate(metadata["quantized"])
                 ],
             )
+        pq, pq_list_means = cls._load_pq(metadata, arrays, index)
         return cls(
             index,
             centroids=arrays["centroids"],
@@ -464,6 +736,10 @@ class IVFIndex:
             nprobe=int(metadata["nprobe"]),
             quantized=quantized,
             seed=int(metadata.get("seed", 0)),
+            pq=pq,
+            default_scorer=metadata.get("default_scorer"),
+            rerank_factor=int(metadata.get("rerank_factor", 8)),
+            pq_list_means=pq_list_means,
         )
 
 
@@ -474,21 +750,43 @@ def build_ivf(
     seed: int = 0,
     iters: int = 25,
     quantize: bool = True,
+    pq: bool = False,
+    pq_subspace_dim: int = 4,
+    pq_centroids: int = 256,
+    pq_rotation: bool = False,
+    rerank_factor: int = 8,
+    tol: float = 0.0,
+    train_sample: Optional[int] = None,
 ) -> IVFIndex:
-    """Build an :class:`IVFIndex` (and its int8 companion) from an index.
+    """Build an :class:`IVFIndex` (and its int8/PQ companions) from an index.
 
     ``n_lists`` defaults to ``~sqrt(n_items)/2`` (see
     :func:`default_n_lists` for why this substrate prefers fewer, larger
     lists) and ``nprobe`` to an eighth of the lists — the default
     operating point the recall-gated benchmark (``BENCH_ann.json``)
-    measures.  Deterministic given ``seed``.
+    measures.  ``pq=True`` trains per-branch *residual* product
+    quantization (codes encode each item minus its list's mean — the
+    IVFADC construction) and makes ``pq`` the default fine scorer (ADC
+    candidates + exact re-rank).  ``train_sample`` caps how many item vectors the
+    k-means stages train on (a seeded subsample; the full catalog is still
+    assigned in one chunked pass) and ``tol`` enables centroid-shift early
+    stopping — both are what keep 1M+ item builds tractable.
+    Deterministic given ``seed``.
     """
     n_lists = default_n_lists(index.n_items) if n_lists is None else int(n_lists)
     if n_lists < 1:
         raise ValueError(f"n_lists must be >= 1, got {n_lists}")
     n_lists = min(n_lists, index.n_items)
     vectors = combined_item_vectors(index.branches)
-    centroids, labels = kmeans(vectors, n_lists, seed=seed, iters=iters)
+    if train_sample is not None and vectors.shape[0] > int(train_sample):
+        rng = np.random.default_rng(seed)
+        sample = np.sort(rng.choice(vectors.shape[0], int(train_sample), replace=False))
+        centroids, _ = kmeans(
+            vectors[sample], min(n_lists, len(sample)), seed=seed, iters=iters, tol=tol
+        )
+        labels, _ = assign_labels(vectors, centroids)
+    else:
+        centroids, labels = kmeans(vectors, n_lists, seed=seed, iters=iters, tol=tol)
     n_lists = centroids.shape[0]
 
     # Contiguous list layout, item ids ascending within each list so the
@@ -501,6 +799,41 @@ def build_ivf(
     nprobe = default_nprobe(n_lists) if nprobe is None else int(nprobe)
     nprobe = max(1, min(nprobe, n_lists))
     quantized = QuantizedIndex.build(index) if quantize else None
+    pq_index = None
+    pq_list_means = None
+    if pq:
+        # Residual PQ (the IVFADC construction): codebooks quantize each
+        # item *minus its list's mean factor row*.  Items in one list are
+        # similar by construction, so raw-vector codebooks would spend
+        # their 8 bits re-describing the coarse structure the list
+        # assignment already captured — residuals put all the precision on
+        # the within-list differences that decide ADC candidate ranks.
+        pq_branches = []
+        pq_list_means = []
+        for b, branch in enumerate(index.branches):
+            item = np.asarray(branch.item, dtype=np.float64)
+            perm_item = item[perm]
+            means = np.zeros((n_lists, item.shape[1]))
+            for lst in range(n_lists):
+                lo, hi = int(indptr[lst]), int(indptr[lst + 1])
+                if hi > lo:  # a list can be empty under subsampled training
+                    means[lst] = perm_item[lo:hi].mean(axis=0)
+            pq_branches.append(
+                build_pq_branch(
+                    item - means[labels],
+                    subspace_dim=pq_subspace_dim,
+                    n_centroids=pq_centroids,
+                    rotation=pq_rotation,
+                    seed=seed + 104729 * b,
+                    iters=iters,
+                    tol=tol if tol > 0 else 1e-4,
+                    train_sample=train_sample,
+                )
+            )
+            pq_list_means.append(means)
+        pq_index = PQIndex(
+            index, pq_branches, rerank_factor=rerank_factor, residual=True
+        )
     return IVFIndex(
         index,
         centroids=centroids,
@@ -509,4 +842,7 @@ def build_ivf(
         nprobe=nprobe,
         quantized=quantized,
         seed=seed,
+        pq=pq_index,
+        rerank_factor=rerank_factor,
+        pq_list_means=pq_list_means,
     )

@@ -15,9 +15,14 @@ queries against the resulting ``(n_clusters, dim)`` centroid matrix.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+#: cap on the (rows x centroids) distance-table size one assignment chunk
+#: may allocate (float64 entries); above it the table is computed in row
+#: chunks — bit-identical per row, bounded peak memory for 1M+ catalogs
+_ASSIGN_CHUNK_ENTRIES = 16_000_000
 
 
 def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -37,12 +42,22 @@ def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
 
 
 def _kmeanspp_init(points: np.ndarray, n_clusters: int, rng: np.random.Generator) -> np.ndarray:
-    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    """k-means++ seeding: spread initial centroids by D^2 sampling.
+
+    One running min-distance array is maintained across seeds: each new
+    centroid contributes a single ``points @ c`` pass folded in with
+    ``np.minimum``, and the points' self-norms are computed once up front
+    instead of once per seed — the per-seed cost is one matmul, not a full
+    distance-table rebuild against every chosen centroid.  The arithmetic
+    (matmul shape included) matches :func:`_squared_distances` exactly, so
+    seeding is bit-compatible with the historical per-seed recomputation.
+    """
     n = points.shape[0]
     centroids = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
     first = int(rng.integers(n))
     centroids[0] = points[first]
-    closest = _squared_distances(points, centroids[:1])[:, 0]
+    point_norms = np.einsum("ij,ij->i", points, points)
+    closest = _seed_distances(points, point_norms, centroids[0:1])
     for i in range(1, n_clusters):
         total = closest.sum()
         if total <= 0:
@@ -51,8 +66,56 @@ def _kmeanspp_init(points: np.ndarray, n_clusters: int, rng: np.random.Generator
         else:
             pick = int(rng.choice(n, p=closest / total))
         centroids[i] = points[pick]
-        np.minimum(closest, _squared_distances(points, centroids[i : i + 1])[:, 0], out=closest)
+        np.minimum(closest, _seed_distances(points, point_norms, centroids[i : i + 1]), out=closest)
     return centroids
+
+
+def _seed_distances(
+    points: np.ndarray, point_norms: np.ndarray, centroid: np.ndarray
+) -> np.ndarray:
+    """Squared distances to one ``(1, dim)`` centroid, reusing point norms.
+
+    Keeps the ``(n, 1)`` matmul shape and the ``|x|^2 - 2 x.c + |c|^2``
+    evaluation order of :func:`_squared_distances` so results stay
+    bit-identical to the full-table path.
+    """
+    cross = (points @ centroid.T)[:, 0]
+    sq = point_norms - 2.0 * cross + np.einsum("ij,ij->i", centroid, centroid)[0]
+    return np.maximum(sq, 0.0)
+
+
+def assign_labels(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    point_norms: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment: ``(labels, assigned_sq_distance)``.
+
+    Row-chunked when the full ``(n_points, n_centroids)`` table would
+    exceed the chunk budget — each row's distances are the same expression
+    either way, so labels and distances are bit-identical to the one-shot
+    table.  Ties break toward the lowest cluster id (``argmin``).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    n = points.shape[0]
+    n_clusters = centroids.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    assigned = np.empty(n, dtype=np.float64)
+    chunk = max(1, _ASSIGN_CHUNK_ENTRIES // max(n_clusters, 1))
+    if point_norms is None:
+        point_norms = np.einsum("ij,ij->i", points, points)
+    centroid_norms = np.einsum("ij,ij->i", centroids, centroids)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        cross = points[start:stop] @ centroids.T
+        sq = np.maximum(
+            point_norms[start:stop, None] - 2.0 * cross + centroid_norms[None, :], 0.0
+        )
+        rows = sq.argmin(axis=1)
+        labels[start:stop] = rows
+        assigned[start:stop] = sq[np.arange(stop - start), rows]
+    return labels, assigned
 
 
 def kmeans(
@@ -60,12 +123,17 @@ def kmeans(
     n_clusters: int,
     seed: int = 0,
     iters: int = 25,
+    tol: float = 0.0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Cluster ``points`` into ``n_clusters``; returns ``(centroids, labels)``.
 
     ``centroids`` is ``(n_clusters, dim)`` float64, ``labels`` is
     ``(n_points,)`` int64.  ``n_clusters`` is clipped to the number of
-    points.  Iteration stops early once an assignment pass changes nothing.
+    points.  Iteration stops early once an assignment pass changes nothing,
+    or — when ``tol > 0`` — once the mean squared centroid shift drops to
+    ``tol`` times the mean point squared norm (a scale-free convergence
+    check; PQ codebook training uses it to cut the long converged tail on
+    large catalogs).  ``tol=0`` keeps the historical exact behaviour.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:
@@ -79,10 +147,11 @@ def kmeans(
     rng = np.random.default_rng(seed)
 
     centroids = _kmeanspp_init(points, n_clusters, rng)
+    point_norms = np.einsum("ij,ij->i", points, points)
+    shift_floor = float(tol) * float(point_norms.mean()) if tol > 0 else 0.0
     labels = np.full(n, -1, dtype=np.int64)
     for _ in range(max(1, int(iters))):
-        distances = _squared_distances(points, centroids)
-        new_labels = distances.argmin(axis=1).astype(np.int64)
+        new_labels, assigned = assign_labels(points, centroids, point_norms)
 
         # Reseed empty clusters to the points their current centroids serve
         # worst — deterministic, and it keeps every list non-degenerate so
@@ -94,7 +163,6 @@ def kmeans(
         counts = np.bincount(new_labels, minlength=n_clusters)
         empty = np.flatnonzero(counts == 0)
         if len(empty):
-            assigned = distances[np.arange(n), new_labels]
             worst = np.argsort(-assigned, kind="stable")
             pointer = 0
             for cluster in empty:
@@ -113,5 +181,12 @@ def kmeans(
         labels = new_labels
         sums = np.zeros((n_clusters, points.shape[1]), dtype=np.float64)
         np.add.at(sums, labels, points)
-        centroids = sums / counts[:, None]
+        new_centroids = sums / counts[:, None]
+        if shift_floor > 0.0:
+            shift = float(np.mean(np.sum((new_centroids - centroids) ** 2, axis=1)))
+            centroids = new_centroids
+            if shift <= shift_floor:
+                break
+        else:
+            centroids = new_centroids
     return centroids, labels

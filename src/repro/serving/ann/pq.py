@@ -1,0 +1,611 @@
+"""Product quantization of frozen item factors.
+
+Scalar int8 (:mod:`.quantize`) compresses each item-factor *element* to
+one byte — a 4-8x ceiling.  Product quantization compresses whole
+*subvectors*: each branch's ``(n_items, d)`` factors are split into
+``M = ceil(d / subspace_dim)`` subspaces, a k-means codebook of at most
+256 centroids is trained per subspace (the existing pure-NumPy
+:func:`~.kmeans.kmeans` with kmeans++ seeding), and every item is stored
+as ``M`` uint8 codes — ``M`` bytes instead of ``4d``/``8d``, a 16-64x
+item-side reduction at ``subspace_dim`` 4-8.
+
+Scoring is **ADC** (asymmetric distance computation): the query stays
+exact, and per query row one lookup table per subspace is built as
+``LUT_m = u_m @ codebook_m.T``; the approximate inner product of a block
+of items is then ``sum_m LUT_m[:, codes[:, m]]`` — pure table gathers, no
+per-item arithmetic in ``d``.  Branch constants and weights are applied
+exactly, mirroring :func:`~repro.core.base.score_branches`, so PQ error
+comes only from the factor-product term.
+
+PQ error is larger than int8 error, which is why a :class:`PQIndex` (and
+the ``pq`` fine-stage arm of :class:`~.ivf.IVFIndex`) always **re-ranks**
+an over-fetched candidate pool with the exact ``score_branches`` kernel
+before returning: ADC decides *which* ``rerank_factor * k`` candidates to
+look at, exact scoring decides their order.  The recall harness in
+:mod:`repro.eval.ann` measures (not assumes) what survives.
+
+An optional OPQ-style **learned rotation** per branch aligns the factor
+axes with the subspace grid before splitting: alternate PQ training with
+the orthogonal-Procrustes solution ``R = U V^T`` of
+``SVD(X^T X_hat)``.  Rotations are orthogonal, so rotating both queries
+and items preserves inner products exactly and only the quantization
+error changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.base import ScoreBranch, branches_dtype
+from ...data.dataset import expand_csr_rows
+from ...eval.topk import NEG_INF, topk_indices_rows, topk_pairs_rows
+from ...obs.trace import maybe_span
+from ...train import persistence
+from .kmeans import assign_labels, kmeans
+
+PQ_KIND = "pq_index"
+
+#: bump when the array layout changes incompatibly
+FORMAT_VERSION = 1
+
+#: uint8 codes: a codebook can never exceed this many centroids
+MAX_CENTROIDS = 256
+
+#: cap on the (users x candidates x dim) gather one exact re-rank chunk
+#: may materialize (index-dtype elements)
+_RERANK_CHUNK_ELEMENTS = 8_000_000
+
+
+def subspace_splits(d: int, subspace_dim: int) -> List[Tuple[int, int]]:
+    """``[(start, stop), ...]`` column ranges splitting ``d`` dims into
+    ``ceil(d / subspace_dim)`` near-equal subspaces (first ones wider when
+    ``d`` does not divide evenly — the :func:`numpy.array_split` layout)."""
+    if subspace_dim < 1:
+        raise ValueError(f"subspace_dim must be >= 1, got {subspace_dim}")
+    n_sub = max(1, -(-d // int(subspace_dim)))
+    bounds = np.linspace(0, d, n_sub + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_sub)]
+
+
+@dataclass
+class PQBranch:
+    """PQ codebooks + codes for one branch's item factors.
+
+    ``codebooks[m]`` is ``(n_centroids_m, sub_dim_m)`` float64;
+    ``codes`` is ``(n_items, M)`` uint8.  ``rotation`` (optional,
+    ``(d, d)`` float64, orthogonal) was applied to the item factors
+    *before* splitting — queries must be rotated the same way, which
+    :func:`score_pq_block` does.  Reconstruction lives in the rotated
+    space; ``dequantized`` rotates it back.
+    """
+
+    codebooks: List[np.ndarray]
+    codes: np.ndarray
+    rotation: Optional[np.ndarray] = None
+    splits: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.codes.dtype != np.dtype(np.uint8):
+            raise ValueError("PQ codes must be uint8")
+        if self.codes.shape[1] != len(self.codebooks):
+            raise ValueError("one code column per codebook")
+        if not self.splits:
+            start = 0
+            self.splits = []
+            for cb in self.codebooks:
+                self.splits.append((start, start + cb.shape[1]))
+                start += cb.shape[1]
+
+    @property
+    def n_subspaces(self) -> int:
+        return len(self.codebooks)
+
+    @property
+    def d(self) -> int:
+        return self.splits[-1][1]
+
+    def code_bytes(self) -> int:
+        return int(self.codes.nbytes)
+
+    def table_bytes(self) -> int:
+        total = sum(cb.nbytes for cb in self.codebooks)
+        if self.rotation is not None:
+            total += self.rotation.nbytes
+        return int(total)
+
+    def dequantized(self, dtype=np.float64) -> np.ndarray:
+        """Reconstructed item factors in the *original* (unrotated) axes."""
+        out = np.empty((self.codes.shape[0], self.d), dtype=np.float64)
+        for m, cb in enumerate(self.codebooks):
+            lo, hi = self.splits[m]
+            out[:, lo:hi] = cb[self.codes[:, m]]
+        if self.rotation is not None:
+            out = out @ self.rotation.T
+        return out.astype(dtype, copy=False)
+
+
+def _train_codebooks(
+    train: np.ndarray,
+    splits: Sequence[Tuple[int, int]],
+    n_centroids: int,
+    seed: int,
+    iters: int,
+    tol: float,
+) -> List[np.ndarray]:
+    """One k-means codebook per subspace of the (already rotated) sample.
+
+    Each subspace gets its own derived seed so codebooks are independent
+    draws but the whole training run stays deterministic in ``seed``.
+    """
+    codebooks = []
+    for m, (lo, hi) in enumerate(splits):
+        centroids, _ = kmeans(
+            np.ascontiguousarray(train[:, lo:hi]),
+            min(int(n_centroids), train.shape[0]),
+            seed=seed + 7919 * (m + 1),
+            iters=iters,
+            tol=tol,
+        )
+        codebooks.append(centroids)
+    return codebooks
+
+
+def _assign_codes(
+    items: np.ndarray, codebooks: Sequence[np.ndarray], splits: Sequence[Tuple[int, int]]
+) -> np.ndarray:
+    """Nearest-centroid codes for the full (rotated) catalog, uint8."""
+    codes = np.empty((items.shape[0], len(codebooks)), dtype=np.uint8)
+    for m, (lo, hi) in enumerate(splits):
+        labels, _ = assign_labels(np.ascontiguousarray(items[:, lo:hi]), codebooks[m])
+        codes[:, m] = labels.astype(np.uint8)
+    return codes
+
+
+def _reconstruct(codes: np.ndarray, codebooks, splits) -> np.ndarray:
+    out = np.empty((codes.shape[0], splits[-1][1]), dtype=np.float64)
+    for m, (lo, hi) in enumerate(splits):
+        out[:, lo:hi] = codebooks[m][codes[:, m]]
+    return out
+
+
+def _train_rotation(
+    train: np.ndarray,
+    splits: Sequence[Tuple[int, int]],
+    n_centroids: int,
+    seed: int,
+    iters: int,
+    tol: float,
+    rounds: int = 3,
+) -> np.ndarray:
+    """OPQ-style alternating optimization of an orthogonal rotation.
+
+    Alternates (a) PQ codebook training on the rotated sample with (b) the
+    orthogonal-Procrustes update ``R = U V^T`` from ``SVD(X^T X_hat)``,
+    which minimizes ``|X R - X_hat|_F`` over orthogonal ``R``.  A few
+    rounds capture most of the gain; training is offline, so this stays
+    deliberately simple.
+    """
+    d = train.shape[1]
+    rotation = np.eye(d)
+    for _ in range(max(1, int(rounds))):
+        rotated = train @ rotation
+        codebooks = _train_codebooks(rotated, splits, n_centroids, seed, iters, tol)
+        codes = _assign_codes(rotated, codebooks, splits)
+        reconstructed = _reconstruct(codes, codebooks, splits)
+        u, _, vt = np.linalg.svd(train.T @ reconstructed)
+        rotation = u @ vt
+    return rotation
+
+
+def build_pq_branch(
+    item: np.ndarray,
+    subspace_dim: int = 4,
+    n_centroids: int = 256,
+    rotation: bool = False,
+    seed: int = 0,
+    iters: int = 25,
+    tol: float = 1e-4,
+    train_sample: Optional[int] = None,
+) -> PQBranch:
+    """Train PQ (optionally OPQ) for one branch's ``(n_items, d)`` factors.
+
+    Codebooks are trained on at most ``train_sample`` rows (a seeded
+    uniform subsample) and the *full* catalog is then coded in one chunked
+    assignment pass — training cost stays bounded for 1M+ catalogs while
+    every item still gets its true nearest centroid.
+    """
+    if not 1 <= n_centroids <= MAX_CENTROIDS:
+        raise ValueError(f"n_centroids must be in [1, {MAX_CENTROIDS}], got {n_centroids}")
+    item = np.asarray(item, dtype=np.float64)
+    n, d = item.shape
+    splits = subspace_splits(d, subspace_dim)
+    rng = np.random.default_rng(seed)
+    if train_sample is not None and n > int(train_sample):
+        sample = np.sort(rng.choice(n, int(train_sample), replace=False))
+        train = item[sample]
+    else:
+        train = item
+    rot = None
+    if rotation:
+        rot = _train_rotation(train, splits, n_centroids, seed, iters, tol)
+        train = train @ rot
+        item = item @ rot
+    codebooks = _train_codebooks(train, splits, n_centroids, seed, iters, tol)
+    codes = _assign_codes(item, codebooks, splits)
+    return PQBranch(codebooks=codebooks, codes=codes, rotation=rot, splits=splits)
+
+
+def score_pq_block(
+    branches: Sequence[ScoreBranch],
+    pq_branches: Sequence[PQBranch],
+    code_blocks: Sequence[np.ndarray],
+    item_consts: Sequence[Optional[np.ndarray]],
+    users: np.ndarray,
+    dtype: np.dtype,
+    means: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> np.ndarray:
+    """ADC scores of ``users`` against pre-sliced item code blocks.
+
+    ``code_blocks[b]`` / ``item_consts[b]`` are the branch-``b`` codes and
+    (exact) item constants of the block being scored — a catalog slice for
+    :meth:`PQIndex.score_block`, a permuted per-list slice for the IVF
+    fine stage.  Per branch, one float64 lookup table per subspace is
+    built from the exact user rows (rotated first when the branch carries
+    an OPQ rotation), the block score is the gathered table sum, and
+    constants/weights are applied exactly — the same shape as
+    :func:`~.quantize.score_quantized_block`.
+
+    ``means[b]``, when given, is a ``(d,)`` vector the branch-``b`` codes
+    were *residual-encoded* against (IVF fine stage: the probed list's
+    mean factor row).  Every item in the block then scores as
+    ``u·mean + ADC(residual codes)`` — the mean dot uses the unrotated
+    user row, since an OPQ rotation applies to the residual space only.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    dtype = np.dtype(dtype)
+    total: Optional[np.ndarray] = None
+    if means is None:
+        means = [None] * len(branches)
+    for branch, pb, codes, const, mean in zip(
+        branches, pq_branches, code_blocks, item_consts, means
+    ):
+        u_raw = np.asarray(branch.user[users], dtype=np.float64)
+        u = u_raw @ pb.rotation if pb.rotation is not None else u_raw
+        part64: Optional[np.ndarray] = None
+        for m, cb in enumerate(pb.codebooks):
+            lo, hi = pb.splits[m]
+            lut = u[:, lo:hi] @ cb.T  # (rows, n_centroids_m)
+            term = lut[:, codes[:, m]]
+            part64 = term if part64 is None else part64 + term
+        if mean is not None:
+            part64 = part64 + (u_raw @ np.asarray(mean, dtype=np.float64))[:, None]
+        part = part64.astype(dtype, copy=False)
+        if const is not None:
+            part = part + const[None, :].astype(dtype, copy=False)
+        if branch.user_const is not None:
+            part = part + branch.user_const[users].astype(dtype, copy=False)[:, None]
+        if branch.weight != 1.0:
+            part = branch.weight * part
+        total = part if total is None else total + part
+    assert total is not None, "need at least one branch"
+    return total
+
+
+def score_candidates_exact(
+    branches: Sequence[ScoreBranch],
+    users: np.ndarray,
+    candidates: np.ndarray,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Exact scores of per-user candidate id matrices (the re-rank kernel).
+
+    ``candidates`` is ``(len(users), m)`` global item ids.  Semantics
+    mirror :func:`~repro.core.base.score_branches` — per-branch gathered
+    dot products plus exact constants and weights — but against a ragged
+    per-user candidate set instead of a contiguous block, so the product
+    is a gather-einsum.  Chunked over users to bound the ``(chunk, m, d)``
+    gather.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.int64)
+    dtype = np.dtype(dtype)
+    n, m = candidates.shape
+    out = np.zeros((n, m), dtype=dtype)
+    widest = max(int(b.item.shape[1]) for b in branches)
+    chunk = max(1, _RERANK_CHUNK_ELEMENTS // max(m * widest, 1))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        u_sel = users[start:stop]
+        cand = candidates[start:stop]
+        total: Optional[np.ndarray] = None
+        for branch in branches:
+            u = branch.user[u_sel].astype(dtype, copy=False)
+            gathered = branch.item[cand].astype(dtype, copy=False)
+            part = np.einsum("nd,ncd->nc", u, gathered)
+            if branch.item_const is not None:
+                part = part + branch.item_const[cand].astype(dtype, copy=False)
+            if branch.user_const is not None:
+                part = part + branch.user_const[u_sel].astype(dtype, copy=False)[:, None]
+            if branch.weight != 1.0:
+                part = branch.weight * part
+            total = part if total is None else total + part
+        out[start:stop] = total
+    return out
+
+
+class PQIndex:
+    """PQ-compressed item factors over a source :class:`EmbeddingIndex`.
+
+    Wraps (not copies) the source index: user factors, constants, and
+    catalog metadata are shared; item factors are replaced by ``M`` uint8
+    codes per branch — 16-64x item-side compression.  Standalone it is a
+    full-scan approximate ANN index whose :meth:`search` always re-ranks
+    the top ``rerank_factor * k`` ADC candidates with the exact kernel;
+    inside :class:`~.ivf.IVFIndex` it supplies the ``pq`` fine-stage
+    scorer (the IVF search owns the re-rank there).
+    """
+
+    kind = "pq"
+    scorers = ("pq",)
+    default_scorer = "pq"
+
+    def __init__(
+        self,
+        index,
+        pq: List[PQBranch],
+        rerank_factor: int = 8,
+        residual: bool = False,
+    ) -> None:
+        if len(pq) != len(index.branches):
+            raise ValueError(
+                f"{len(pq)} PQ branches for an index with {len(index.branches)}"
+            )
+        for branch, pb in zip(index.branches, pq):
+            if pb.codes.shape[0] != branch.item.shape[0]:
+                raise ValueError("PQ codes disagree with branch item counts")
+            if pb.d != branch.item.shape[1]:
+                raise ValueError("PQ subspaces disagree with branch factor dims")
+        self.index = index
+        self.pq = pq
+        self.rerank_factor = max(1, int(rerank_factor))
+        #: True when the codes encode residuals against per-IVF-list means
+        #: (an :class:`~.ivf.IVFIndex` companion).  Such codes only score
+        #: correctly with the owning IVF's list means — standalone scoring
+        #: is refused rather than silently wrong.
+        self.residual = bool(residual)
+        self.n_users = index.n_users
+        self.n_items = index.n_items
+        self.dtype = branches_dtype(index.branches)
+
+    @classmethod
+    def build(
+        cls,
+        index,
+        subspace_dim: int = 4,
+        n_centroids: int = 256,
+        rotation: bool = False,
+        seed: int = 0,
+        iters: int = 25,
+        tol: float = 1e-4,
+        train_sample: Optional[int] = None,
+        rerank_factor: int = 8,
+    ) -> "PQIndex":
+        """Train per-branch PQ codebooks for every branch of ``index``."""
+        pq = [
+            build_pq_branch(
+                branch.item,
+                subspace_dim=subspace_dim,
+                n_centroids=n_centroids,
+                rotation=rotation,
+                seed=seed + 104729 * b,
+                iters=iters,
+                tol=tol,
+                train_sample=train_sample,
+            )
+            for b, branch in enumerate(index.branches)
+        ]
+        return cls(index, pq, rerank_factor=rerank_factor)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, users: np.ndarray) -> np.ndarray:
+        """Approximate dense ``(len(users), n_items)`` ADC scores."""
+        return self.score_block(users, 0, self.n_items)
+
+    def score_block(self, users: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """ADC scores against the item block ``[start, stop)``."""
+        if self.residual:
+            raise ValueError(
+                "this PQIndex holds residual codes (an IVF companion); "
+                "score them through the owning IVFIndex, not standalone"
+            )
+        return score_pq_block(
+            self.index.branches,
+            self.pq,
+            [pb.codes[start:stop] for pb in self.pq],
+            [
+                None if b.item_const is None else b.item_const[start:stop]
+                for b in self.index.branches
+            ],
+            users,
+            self.dtype,
+        )
+
+    # ------------------------------------------------------------------
+    # ANN search surface (shared contract with QuantizedIndex / IVFIndex)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        users: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+        exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        candidate_mask: Optional[np.ndarray] = None,
+        tracer=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-scan ADC top candidates, exact re-rank, top-``k``.
+
+        ``nprobe`` is accepted and ignored (no coarse stage).  Masks apply
+        at the ADC stage, *before* candidate selection, so an excluded or
+        filtered item can never be resurrected by its exact re-rank score.
+        Returns dense ``(len(users), k)`` ``(ids, scores)`` with the
+        ``-1`` / ``-inf`` sentinel contract, scores exact for every
+        non-sentinel entry.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        k = min(int(k), self.n_items)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if len(users) == 0:
+            return np.empty((0, k), dtype=np.int64), np.empty((0, k), dtype=self.dtype)
+        with maybe_span(tracer, "ann.fine.adc", cat="ann", attrs={"scorer": "pq"}):
+            scores = self.score(users)
+            if candidate_mask is not None:
+                scores[:, ~np.asarray(candidate_mask, dtype=bool)] = NEG_INF
+            if exclude_csr is not None:
+                rows, cols = expand_csr_rows(*exclude_csr, users)
+                if rows is not None:
+                    scores[rows, cols] = NEG_INF
+            m = min(self.rerank_factor * k, self.n_items)
+            cand = topk_indices_rows(scores, m).astype(np.int64, copy=False)
+            cand_adc = np.take_along_axis(scores, cand, axis=1)
+        with maybe_span(
+            tracer, "ann.rerank", cat="ann", attrs={"candidates": int(cand.shape[1])}
+        ):
+            valid = cand_adc > NEG_INF
+            exact = score_candidates_exact(self.index.branches, users, cand, self.dtype)
+            exact = np.where(valid, exact, self.dtype.type(NEG_INF))
+            merge_ids = np.where(valid, cand, self.n_items)
+        with maybe_span(tracer, "ann.merge", cat="ann"):
+            sel = topk_pairs_rows(merge_ids, exact, k)
+            top_ids = np.take_along_axis(merge_ids, sel, axis=1)
+            top_scores = np.take_along_axis(exact, sel, axis=1)
+            top_ids = np.where(top_scores > NEG_INF, top_ids, -1)
+        return top_ids, top_scores
+
+    # ------------------------------------------------------------------
+    # Memory accounting (shared report shape across ANN index kinds)
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Item-side footprint of the uint8 codes."""
+        return sum(pb.code_bytes() for pb in self.pq)
+
+    @property
+    def bytes_total(self) -> int:
+        """Everything this index owns: codes + codebooks + rotations."""
+        return self.memory_bytes() + sum(pb.table_bytes() for pb in self.pq)
+
+    @property
+    def bytes_per_item(self) -> float:
+        """Item-side bytes per catalog item (codes only)."""
+        return self.memory_bytes() / max(1, self.n_items)
+
+    def memory_report(self) -> dict:
+        total = self.bytes_total
+        return {
+            "kind": self.kind,
+            "bytes_total": int(total),
+            "bytes_per_item": float(self.bytes_per_item),
+            "tiers": {"hot": int(total), "cold": 0},
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization (same archive layer as EmbeddingIndex)
+    # ------------------------------------------------------------------
+    def save(self, path: str, format: str = "npz") -> str:
+        """Persist codes + codebooks; user-side data stays with the index."""
+        if format not in ("npz", "dir"):
+            raise ValueError(f"format must be 'npz' or 'dir', got {format!r}")
+        arrays = {}
+        branch_meta = []
+        for i, pb in enumerate(self.pq):
+            arrays[f"branch{i}.codes"] = pb.codes
+            for m, cb in enumerate(pb.codebooks):
+                arrays[f"branch{i}.codebook{m}"] = cb
+            if pb.rotation is not None:
+                arrays[f"branch{i}.rotation"] = pb.rotation
+            branch_meta.append(
+                {
+                    "n_subspaces": pb.n_subspaces,
+                    "splits": [[int(lo), int(hi)] for lo, hi in pb.splits],
+                    "rotation": pb.rotation is not None,
+                }
+            )
+        metadata = {
+            persistence.KIND_KEY: PQ_KIND,
+            "format_version": FORMAT_VERSION,
+            "model_name": self.index.model_name,
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "rerank_factor": self.rerank_factor,
+            "branches": branch_meta,
+        }
+        if format == "dir":
+            return persistence.write_archive_dir(path, arrays, metadata)
+        return persistence.write_archive(path, arrays, metadata)
+
+    @classmethod
+    def load(cls, path: str, index, mmap: bool = False) -> "PQIndex":
+        """Re-attach saved PQ data to its source :class:`EmbeddingIndex`."""
+        metadata = persistence.read_archive_metadata(path)
+        kind = persistence.archive_kind(metadata)
+        if kind != PQ_KIND:
+            raise ValueError(f"{path} holds a {kind!r} artifact, not a PQ index")
+        if metadata["format_version"] > FORMAT_VERSION:
+            raise ValueError(
+                f"PQ format v{metadata['format_version']} is newer than this "
+                f"reader (v{FORMAT_VERSION})"
+            )
+        if metadata["n_items"] != index.n_items or metadata["n_users"] != index.n_users:
+            raise ValueError(
+                f"PQ index was built for {metadata['n_users']} users x "
+                f"{metadata['n_items']} items, not this index's "
+                f"{index.n_users} x {index.n_items}"
+            )
+        arrays = persistence.read_archive_arrays(path, mmap=mmap)
+        pq = [
+            PQBranch(
+                codebooks=[
+                    np.asarray(arrays[f"branch{i}.codebook{m}"], dtype=np.float64)
+                    for m in range(int(meta["n_subspaces"]))
+                ],
+                codes=np.ascontiguousarray(arrays[f"branch{i}.codes"]),
+                rotation=(
+                    np.asarray(arrays[f"branch{i}.rotation"], dtype=np.float64)
+                    if meta.get("rotation")
+                    else None
+                ),
+                splits=[(int(lo), int(hi)) for lo, hi in meta["splits"]],
+            )
+            for i, meta in enumerate(metadata["branches"])
+        ]
+        return cls(index, pq, rerank_factor=int(metadata.get("rerank_factor", 8)))
+
+
+def build_pq(
+    index,
+    subspace_dim: int = 4,
+    n_centroids: int = 256,
+    rotation: bool = False,
+    seed: int = 0,
+    iters: int = 25,
+    tol: float = 1e-4,
+    train_sample: Optional[int] = None,
+    rerank_factor: int = 8,
+) -> PQIndex:
+    """Convenience wrapper over :meth:`PQIndex.build` (mirrors ``build_ivf``)."""
+    return PQIndex.build(
+        index,
+        subspace_dim=subspace_dim,
+        n_centroids=n_centroids,
+        rotation=rotation,
+        seed=seed,
+        iters=iters,
+        tol=tol,
+        train_sample=train_sample,
+        rerank_factor=rerank_factor,
+    )

@@ -264,9 +264,32 @@ class QuantizedIndex:
         return top, top_scores
 
     # ------------------------------------------------------------------
+    # Memory accounting (shared report shape across ANN index kinds)
+    # ------------------------------------------------------------------
+    kind = "int8"
+
     def memory_bytes(self) -> int:
         """Item-side footprint of the int8 codes."""
         return sum(qb.q_item.nbytes for qb in self.quantized)
+
+    @property
+    def bytes_total(self) -> int:
+        """Everything this index owns (the codes; scales/zeros are scalars)."""
+        return int(self.memory_bytes())
+
+    @property
+    def bytes_per_item(self) -> float:
+        """Item-side bytes per catalog item."""
+        return self.memory_bytes() / max(1, self.n_items)
+
+    def memory_report(self) -> dict:
+        total = self.bytes_total
+        return {
+            "kind": self.kind,
+            "bytes_total": int(total),
+            "bytes_per_item": float(self.bytes_per_item),
+            "tiers": {"hot": int(total), "cold": 0},
+        }
 
     def quantization_params(self) -> List[Dict]:
         return [

@@ -220,6 +220,18 @@ class RecommenderService:
         self._cache_entries_gauge = self.registry.gauge(
             "serving_cache_entries", "Results held in the LRU cache."
         )
+        self._publish_ann_bytes()
+
+    def _publish_ann_bytes(self) -> None:
+        """Push the attached ANN index's memory report to the stats gauges.
+
+        Called at construction and after every :meth:`swap_index` — the
+        footprint only changes when the index does, so there is nothing to
+        refresh per scrape.
+        """
+        ann = self.engine.ann
+        report = ann.memory_report() if hasattr(ann, "memory_report") else None
+        self.stats.set_ann_index_bytes(report)
 
     @property
     def ann(self):
@@ -266,6 +278,7 @@ class RecommenderService:
                 if self.runtime.has_exclusions:
                     exclude_csr = (index.exclude_indptr, index.exclude_indices)
                 self.runtime.refresh(index, exclude_csr=exclude_csr)
+            self._publish_ann_bytes()
         return evicted
 
     # ------------------------------------------------------------------

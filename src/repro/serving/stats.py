@@ -124,12 +124,42 @@ class ServingStats:
         self._queue_wait = self.registry.histogram(
             "serving_queue_wait_seconds", "Time a request spent queued before its flush."
         )
+        self._ann_index_bytes = self.registry.gauge(
+            "ann_index_bytes",
+            "Resident/paged bytes of the attached ANN index, by tier and kind.",
+            labels=("tier", "kind"),
+        )
+        self._ann_tiers: Dict[str, float] = {"hot": 0.0, "cold": 0.0}
+        # Pre-seed with kind="none" so the family is scrapeable before any
+        # ANN index is attached (same idiom as the gateway shed series).
+        self.set_ann_index_bytes({"kind": "none", "tiers": {"hot": 0, "cold": 0}})
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_request(self, warm: bool) -> None:
         self._requests.labels_key(("warm" if warm else "cold",), 1)
+
+    def set_ann_index_bytes(self, report: Optional[Dict]) -> None:
+        """Publish an ANN index's :meth:`memory_report` to the gauge family.
+
+        ``report`` is the shared report shape (``kind`` + ``tiers``); pass
+        ``None`` to mean "no ANN index attached" (zeros under kind
+        ``none``).  Series from a previously attached index are zeroed so a
+        hot swap to a different kind never leaves stale bytes behind.
+        """
+        if report is None:
+            report = {"kind": "none", "tiers": {"hot": 0, "cold": 0}}
+        kind = str(report.get("kind", "none"))
+        tiers = report.get("tiers", {})
+        for labels, _ in self._ann_index_bytes.items():
+            if labels["kind"] != kind:
+                self._ann_index_bytes.set_key((labels["tier"], labels["kind"]), 0.0)
+        self._ann_tiers = {"hot": 0.0, "cold": 0.0}
+        for tier in ("hot", "cold"):
+            value = float(tiers.get(tier, 0))
+            self._ann_index_bytes.set_key((tier, kind), value)
+            self._ann_tiers[tier] = value
 
     def record_cache(self, hit: bool) -> None:
         self._cache_lookups.labels_key(("hit" if hit else "miss",), 1)
@@ -226,6 +256,9 @@ class ServingStats:
             "latency_p99_ms": self.latency.percentile(99) * 1e3,
             "latency_mean_ms": self.latency.mean() * 1e3,
             "elapsed_s": self.elapsed(),
+            "ann_index_bytes_hot": self._ann_tiers["hot"],
+            "ann_index_bytes_cold": self._ann_tiers["cold"],
+            "ann_index_bytes_total": self._ann_tiers["hot"] + self._ann_tiers["cold"],
         }
 
     def extended_snapshot(self) -> Dict[str, float]:

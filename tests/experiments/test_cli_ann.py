@@ -32,7 +32,7 @@ def trained_dir(tmp_path_factory):
 def test_export_ann_writes_the_archive(trained_dir, capsys):
     code, out = run_cli(["export", trained_dir, "--ann", "--ann-lists", "6"], capsys)
     assert code == 0
-    assert "exported ANN index: 6 lists" in out
+    assert "exported ANN index (ivf): 6 lists" in out
     assert os.path.exists(os.path.join(trained_dir, ANN_FILENAME))
 
 

@@ -1,0 +1,147 @@
+"""Archive-format parity for every ANN index kind.
+
+The compact ``.npz`` and the mmap-able per-array ``dir`` archive must be
+interchangeable: an index loaded from either format (and, for ``dir``,
+through mmap or a full read) must return bit-identical search results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.serving import QuantizedIndex, export_index
+from repro.serving.ann import IVFIndex, PQIndex, build_ivf, build_pq
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_users=60, n_items=240, n_categories=4, n_price_levels=4,
+        interactions_per_user=7, seed=17,
+    )
+    dataset = generate(config)[0]
+    model = pup_full(dataset, global_dim=12, category_dim=6, rng=np.random.default_rng(9))
+    model.eval()
+    index = export_index(model, dataset)
+    return dataset, index
+
+
+def assert_search_parity(reference, candidates, index, scorers=(None,)):
+    """Same ids and scores, bitwise, for every loaded variant and scorer."""
+    users = np.arange(35)
+    csr = (index.exclude_indptr, index.exclude_indices)
+    for scorer in scorers:
+        kwargs = {"exclude_csr": csr}
+        if scorer is not None:
+            kwargs["scorer"] = scorer
+        ids_ref, scores_ref = reference.search(users, 10, **kwargs)
+        for label, ann in candidates.items():
+            ids, scores = ann.search(users, 10, **kwargs)
+            np.testing.assert_array_equal(
+                ids_ref, ids, err_msg=f"{label} (scorer={scorer}) ids diverge"
+            )
+            np.testing.assert_array_equal(
+                scores_ref, scores, err_msg=f"{label} (scorer={scorer}) scores diverge"
+            )
+
+
+class TestQuantizedFormats:
+    def test_npz_dir_and_mmap_agree(self, setup, tmp_path):
+        _, index = setup
+        quantized = QuantizedIndex.build(index)
+        npz = quantized.save(str(tmp_path / "q.npz"))
+        d = quantized.save(str(tmp_path / "q_dir"), format="dir")
+        assert_search_parity(
+            quantized,
+            {
+                "npz": QuantizedIndex.load(npz, index),
+                "dir": QuantizedIndex.load(d, index),
+                "dir+mmap": QuantizedIndex.load(d, index, mmap=True),
+            },
+            index,
+        )
+
+
+class TestIVFFormats:
+    @pytest.mark.parametrize("include_items", [False, True])
+    def test_npz_dir_and_mmap_agree(self, setup, tmp_path, include_items):
+        _, index = setup
+        ivf = build_ivf(index, n_lists=10, nprobe=3, seed=0)
+        npz = ivf.save(str(tmp_path / f"ivf{include_items}.npz"))
+        d = ivf.save(
+            str(tmp_path / f"ivf_dir{include_items}"),
+            format="dir", include_items=include_items,
+        )
+        assert_search_parity(
+            ivf,
+            {
+                "npz": IVFIndex.load(npz, index),
+                "dir": IVFIndex.load(d, index),
+                "dir+mmap": IVFIndex.load(d, index, mmap=True),
+            },
+            index,
+            scorers=("exact", "int8"),
+        )
+
+
+class TestIVFPQFormats:
+    def test_npz_dir_and_mmap_agree(self, setup, tmp_path):
+        _, index = setup
+        ivf = build_ivf(index, n_lists=10, nprobe=3, seed=0, pq=True)
+        npz = ivf.save(str(tmp_path / "ivfpq.npz"))
+        d = ivf.save(str(tmp_path / "ivfpq_dir"), format="dir", include_items=True)
+        loaded = {
+            "npz": IVFIndex.load(npz, index),
+            "dir": IVFIndex.load(d, index),
+            "dir+mmap": IVFIndex.load(d, index, mmap=True),
+        }
+        for ann in loaded.values():
+            assert ann.default_scorer == "pq"
+            assert ann.rerank_factor == ivf.rerank_factor
+            assert ann.pq.residual
+            for a, b in zip(ann._pq_list_means, ivf._pq_list_means):
+                np.testing.assert_array_equal(np.asarray(a), b)
+        assert_search_parity(
+            ivf, loaded, index, scorers=("exact", "int8", "pq")
+        )
+
+
+class TestPQFormats:
+    @pytest.mark.parametrize("rotation", [False, True])
+    def test_npz_dir_and_mmap_agree(self, setup, tmp_path, rotation):
+        _, index = setup
+        pq = build_pq(index, seed=0, rotation=rotation)
+        npz = pq.save(str(tmp_path / f"pq{rotation}.npz"))
+        d = pq.save(str(tmp_path / f"pq_dir{rotation}"), format="dir")
+        assert_search_parity(
+            pq,
+            {
+                "npz": PQIndex.load(npz, index),
+                "dir": PQIndex.load(d, index),
+                "dir+mmap": PQIndex.load(d, index, mmap=True),
+            },
+            index,
+        )
+
+
+class TestMemoryReports:
+    """Every ANN kind answers the same memory_report shape — the contract
+    the serving stats gauge publishes."""
+
+    def test_report_shape_is_uniform(self, setup):
+        _, index = setup
+        kinds = {
+            "int8": QuantizedIndex.build(index),
+            "ivf": build_ivf(index, n_lists=10, seed=0),
+            "ivf-pq": build_ivf(index, n_lists=10, seed=0, pq=True),
+            "pq": build_pq(index, seed=0),
+        }
+        for expected_kind, ann in kinds.items():
+            report = ann.memory_report()
+            assert report["kind"] == expected_kind
+            assert set(report) >= {"kind", "bytes_total", "bytes_per_item", "tiers"}
+            assert set(report["tiers"]) == {"hot", "cold"}
+            assert report["bytes_total"] > 0
+            assert report["bytes_per_item"] > 0
+            assert report["tiers"]["hot"] + report["tiers"]["cold"] >= 0

@@ -26,6 +26,9 @@ SNAPSHOT_KEYS = [
     "latency_p99_ms",
     "latency_mean_ms",
     "elapsed_s",
+    "ann_index_bytes_hot",
+    "ann_index_bytes_cold",
+    "ann_index_bytes_total",
 ]
 
 
