@@ -433,6 +433,41 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """A ResilienceConfig when --resilience asked for one, else None."""
+    if not getattr(args, "resilience", False):
+        return None
+    from .serving.resilience import ResilienceConfig
+
+    return ResilienceConfig(retries=args.retries, degrade=not args.no_degrade)
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Retry/breaker/degradation knobs shared by serve and loadtest."""
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="enable the resilience policy: retry transient backend errors "
+        "with exponential backoff, trip a circuit breaker on sustained "
+        "failure, degrade to cached/profile answers (docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry a failed batch up to N times before degrading "
+        "(with --resilience; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail with BackendError instead of serving degraded answers "
+        "once retries are exhausted (with --resilience)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline: a request still queued after this long "
+        "fails with DeadlineExceeded instead of running late "
+        "(default: none)",
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -459,10 +494,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     f"approximate retrieval ({ann.kind}): "
                     f"{ann.bytes_per_item:.1f} B/item full-scan ADC, exact re-rank"
                 )
-        service = experiment.service(default_k=args.k, ann=ann, tracer=tracer)
+        service = experiment.service(
+            default_k=args.k, ann=ann, tracer=tracer,
+            resilience=_resilience_from_args(args),
+        )
     except ExportError as error:
         print(f"cannot serve this artifact: {error}", file=sys.stderr)
         return 1
+    if service.resilience is not None:
+        print(
+            f"resilience: {service.resilience.config.retries} retries, "
+            "circuit breaker armed, degradation ladder on"
+        )
 
     gateway = None
     if args.gateway:
@@ -474,6 +517,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 max_queue_depth=args.queue_depth,
                 max_wait_ms=args.max_wait_ms,
                 rate_limit=args.rate_limit,
+                deadline_ms=args.deadline_ms,
             ),
         )
         limit_note = (
@@ -533,6 +577,129 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if gateway is not None:
         gateway.close()
     return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a synthetic workload through the full gateway stack.
+
+    ``--chaos`` installs a deterministic fault plan (seeded, reproducible)
+    across the scorer, the ANN path, and the gateway flusher, then audits
+    the end-of-run books: every admitted request must resolve exactly once
+    as ok / degraded / failed.  Exit code 1 on an accounting violation.
+    """
+    import json as _json
+
+    experiment = Experiment.load(args.artifacts)
+    from .loadgen import (
+        ArrivalSchedule,
+        WorkloadConfig,
+        build_workload,
+        run_chaos,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from .serving.gateway import GatewayConfig, ServingGateway
+
+    plan = None
+    if args.chaos:
+        from .faults import chaos_plan
+
+        plan = chaos_plan(
+            seed=args.chaos_seed,
+            worker_crashes=0,  # the CLI service runs an in-process scorer
+            scorer_errors=args.chaos_scorer_errors,
+            ann_failures=args.chaos_ann_failures if args.ann else 0,
+            flusher_crashes=args.chaos_flusher_crashes,
+            scorer_delays=args.chaos_scorer_delays,
+        )
+        if not args.resilience:
+            # Chaos without resilience just proves requests fail; the
+            # interesting run is faults + the ladder, so default it on.
+            args.resilience = True
+
+    try:
+        ann = None
+        if args.ann:
+            ann = experiment.ann_index()
+        service = experiment.service(
+            default_k=args.k,
+            ann=ann,
+            resilience=_resilience_from_args(args),
+            fault_plan=plan,
+        )
+    except ExportError as error:
+        print(f"cannot serve this artifact: {error}", file=sys.stderr)
+        return 1
+
+    gateway = ServingGateway(
+        service,
+        GatewayConfig(
+            max_queue_depth=args.queue_depth,
+            max_wait_ms=args.max_wait_ms,
+            rate_limit=args.rate_limit,
+            deadline_ms=args.deadline_ms,
+        ),
+        fault_plan=plan,
+    )
+
+    server = None
+    if args.metrics_port is not None:
+        from .obs.server import MetricsServer
+
+        server = MetricsServer(
+            service.registry,
+            port=args.metrics_port,
+            stats_fn=service.stats.extended_snapshot,
+            update_fn=gateway.sync_gauges,
+        ).start()
+        print(f"metrics: {server.url('/metrics')} (also /stats, /healthz)")
+
+    workload = build_workload(
+        WorkloadConfig(
+            n_requests=args.requests,
+            n_users=service.index.n_users,
+            cold_fraction=args.cold_fraction,
+        ),
+        seed=args.workload_seed,
+    )
+    exit_code = 0
+    try:
+        if args.chaos:
+            chaos_report = run_chaos(
+                gateway, workload, plan=plan, threads=args.threads
+            )
+            payload = chaos_report.to_dict()
+            if chaos_report.ok:
+                print("chaos audit: books balance "
+                      "(admitted == ok + degraded + failed)")
+            else:
+                for violation in chaos_report.violations:
+                    print(f"chaos audit FAILED: {violation}", file=sys.stderr)
+                exit_code = 1
+        elif args.mode == "closed":
+            payload = run_closed_loop(
+                gateway, workload, threads=args.threads
+            ).to_dict()
+        else:
+            payload = run_open_loop(
+                gateway, workload, schedule=ArrivalSchedule(rate=args.rate_qps)
+            ).to_dict()
+        report = payload["load"] if args.chaos else payload
+        print(
+            f"{report['n_requests']} requests: {report['n_ok']} ok, "
+            f"{report['n_degraded']} degraded, {report['failed_total']} failed, "
+            f"{report['shed_total']} shed, {report['n_timeout']} timeout | "
+            f"{report['qps']:.0f} QPS, p99 {report['p99_ms']:.3f} ms"
+        )
+        if args.out:
+            with open(args.out, "w") as sink:
+                _json.dump(payload, sink, indent=2, sort_keys=True)
+            print(f"report written to {args.out}")
+    finally:
+        if server is not None:
+            server.stop()
+        gateway.close()
+    return exit_code
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -762,9 +929,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant token-bucket rate limit in requests/second "
         "(default: unlimited)",
     )
+    _add_resilience_flags(serve)
     _add_ann_build_flags(serve)
     _add_trace_flag(serve)
     serve.set_defaults(func=cmd_serve)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive synthetic load through the gateway; --chaos injects "
+        "deterministic faults and audits the accounting",
+    )
+    loadtest.add_argument("artifacts", help="artifact directory written by `train`")
+    loadtest.add_argument("--k", type=int, default=10)
+    loadtest.add_argument(
+        "--requests", type=int, default=500, metavar="N",
+        help="workload size (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--threads", type=int, default=8, metavar="N",
+        help="closed-loop client threads (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="load discipline: closed loop (sustainable throughput) or "
+        "open loop (wall-clock arrivals; exposes backpressure)",
+    )
+    loadtest.add_argument(
+        "--rate-qps", type=float, default=1000.0, metavar="QPS",
+        help="open-loop arrival rate (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--cold-fraction", type=float, default=0.05, metavar="F",
+        help="fraction of requests from never-seen users (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--workload-seed", type=int, default=0,
+        help="workload generation seed (same seed → identical request list)",
+    )
+    loadtest.add_argument(
+        "--ann", action="store_true",
+        help="serve through approximate retrieval (enables the ANN-failure "
+        "fault under --chaos, which falls back to exact search)",
+    )
+    loadtest.add_argument(
+        "--chaos", action="store_true",
+        help="install a seeded fault plan (scorer errors/delays, flusher "
+        "crashes, ANN failures with --ann), run closed-loop, then audit "
+        "that every admitted request resolved exactly once; implies "
+        "--resilience",
+    )
+    loadtest.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault-plan seed (same seed → identical fault schedule)",
+    )
+    loadtest.add_argument(
+        "--chaos-scorer-errors", type=int, default=2, metavar="N",
+        help="deterministic scorer exceptions to inject (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--chaos-scorer-delays", type=int, default=1, metavar="N",
+        help="slow-scorer stalls to inject (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--chaos-flusher-crashes", type=int, default=1, metavar="N",
+        help="gateway flusher crashes to inject (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--chaos-ann-failures", type=int, default=1, metavar="N",
+        help="ANN search failures to inject with --ann (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--queue-depth", type=int, default=1024, metavar="N",
+        help="gateway admission-queue bound (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="gateway latency flush trigger (default: %(default)s)",
+    )
+    loadtest.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-tenant rate limit (default: unlimited)",
+    )
+    loadtest.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="expose /metrics on 127.0.0.1:PORT for the duration of the run "
+        "(0 = ephemeral; the bound port is printed)",
+    )
+    loadtest.add_argument(
+        "--out", metavar="PATH", help="write the full report as JSON"
+    )
+    _add_resilience_flags(loadtest)
+    loadtest.set_defaults(func=cmd_loadtest)
 
     compare = commands.add_parser("compare", help="train several models, print a table")
     compare.add_argument(

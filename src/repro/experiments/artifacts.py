@@ -34,7 +34,7 @@ from ..eval.ranking import topk_rankings
 from ..serving.export import ExportError, export_index
 from ..serving.index import EmbeddingIndex
 from ..serving.service import RecommenderService
-from ..train.persistence import load_checkpoint, save_checkpoint
+from ..train.persistence import clean_stale_archives, load_checkpoint, save_checkpoint
 from ..train.trainer import TrainResult
 from .spec import ExperimentSpec
 
@@ -341,6 +341,16 @@ class Experiment:
             raise FileNotFoundError(
                 f"{artifacts_dir!r} is not an experiment artifact directory "
                 f"(missing {SPEC_FILENAME})"
+            )
+        # Sweep staging leftovers from writers that died mid-publish: every
+        # archive write stages to a `*.tmp-<pid>` sibling and renames, so
+        # anything still matching the staging pattern is garbage by definition.
+        removed = clean_stale_archives(artifacts_dir)
+        for stale in removed:
+            warnings.warn(
+                f"removed stale staging file from an interrupted write: {stale}",
+                RuntimeWarning,
+                stacklevel=2,
             )
         payload = _read_json(spec_path)
         version = payload.get("format_version", 1)

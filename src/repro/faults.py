@@ -1,0 +1,294 @@
+"""Deterministic fault injection for chaos tests and the chaos loadgen.
+
+The resilience layer (worker crash recovery, flusher supervision, circuit
+breaker, degradation ladder) is only trustworthy if its failure paths can be
+exercised *on demand*, repeatably.  This module provides that trigger: a
+seeded :class:`FaultPlan` holding one :class:`FaultSpec` per named injection
+point.  Components that support injection (``WorkerPool``,
+``RecommenderService``, ``RetrievalEngine``, ``ServingGateway``) accept an
+optional plan and consult it at their injection point; production code paths
+pass ``None`` and pay a single ``is None`` check.
+
+Determinism contract
+--------------------
+Each injection point keeps an *occurrence counter*: every consultation
+increments it, and a spec fires either when the occurrence index is listed in
+``times`` or when a per-point ``numpy`` Generator — seeded from
+``(plan.seed, point)`` — draws below ``probability``.  Two runs with the
+same plan, workload, and single-threaded consultation order therefore fire
+identically; under concurrency the *set* of fired occurrences is still
+deterministic for ``times``-based specs as long as the total consultation
+count is.  The same plan object drives unit tests, ``repro loadtest
+--chaos``, and the CI chaos-smoke job.
+
+Injected failures raise :class:`InjectedFault` (a ``RuntimeError``), which
+the resilience layer classifies as *transient* — exactly like a real flaky
+backend — so retries, breaker trips, and degradation all engage.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Named injection points (the fault-point catalog; see docs/robustness.md)
+# ---------------------------------------------------------------------------
+POOL_WORKER_CRASH = "pool.worker_crash"
+"""A process worker dies (``os._exit``) while holding a dispatched chunk."""
+
+SCORER_ERROR = "service.scorer_error"
+"""The warm scoring path raises mid-batch (poisoned scorer call)."""
+
+SCORER_DELAY = "service.scorer_delay"
+"""The warm scoring path stalls for ``delay_s`` (slow/hung scorer)."""
+
+ANN_SEARCH_ERROR = "ann.search_error"
+"""The ANN index raises from ``search()`` (triggers exact-search fallback)."""
+
+FLUSHER_CRASH = "gateway.flusher_crash"
+"""The gateway's background flusher thread raises (supervision test)."""
+
+POINTS: Tuple[str, ...] = (
+    POOL_WORKER_CRASH,
+    SCORER_ERROR,
+    SCORER_DELAY,
+    ANN_SEARCH_ERROR,
+    FLUSHER_CRASH,
+)
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a firing fault point; transient by classification."""
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(f"injected fault at {point} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When one injection point fires.
+
+    ``times`` lists 0-based occurrence indices that fire unconditionally;
+    ``probability`` adds seeded random firing on every other occurrence.
+    ``max_fires`` bounds total fires (``None`` = unbounded); ``delay_s`` is
+    the stall length for delay-type points.
+    """
+
+    point: str
+    times: Tuple[int, ...] = ()
+    probability: float = 0.0
+    max_fires: Optional[int] = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ValueError("point must be a non-empty injection-point name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if any(t < 0 for t in self.times):
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+
+
+class FaultPlan:
+    """A seeded, thread-safe set of :class:`FaultSpec` entries.
+
+    The plan is consulted via :meth:`should_fire` / :meth:`maybe_fail` /
+    :meth:`maybe_delay`; unknown points never fire, so a component can
+    consult unconditionally.  The plan is picklable (the lock is rebuilt),
+    but process workers do **not** consult it — cross-process determinism is
+    kept by consulting in the parent and shipping a crash marker (see
+    ``runtime/pool.py``).
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in self._specs:
+                raise ValueError(f"duplicate fault spec for point {spec.point!r}")
+            self._specs[spec.point] = spec
+        self._lock = threading.Lock()
+        self._occurrences: Dict[str, int] = {p: 0 for p in self._specs}
+        self._fires: Dict[str, int] = {p: 0 for p in self._specs}
+        self._rngs: Dict[str, np.random.Generator] = {
+            p: np.random.default_rng(np.random.SeedSequence([self.seed, i]))
+            for i, p in enumerate(sorted(self._specs))
+        }
+
+    # -- pickling (the lock is not picklable) ---------------------------
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def points(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def spec(self, point: str) -> Optional[FaultSpec]:
+        return self._specs.get(point)
+
+    def should_fire(self, point: str) -> bool:
+        """Advance ``point``'s occurrence counter; return True if it fires."""
+        spec = self._specs.get(point)
+        if spec is None:
+            return False
+        with self._lock:
+            occurrence = self._occurrences[point]
+            self._occurrences[point] = occurrence + 1
+            if spec.max_fires is not None and self._fires[point] >= spec.max_fires:
+                return False
+            fire = occurrence in spec.times
+            if not fire and spec.probability > 0.0:
+                fire = bool(self._rngs[point].random() < spec.probability)
+            if fire:
+                self._fires[point] += 1
+            return fire
+
+    def maybe_fail(self, point: str) -> None:
+        """Raise :class:`InjectedFault` if ``point`` fires this occurrence."""
+        if self.should_fire(point):
+            with self._lock:
+                occurrence = self._occurrences[point] - 1
+            raise InjectedFault(point, occurrence)
+
+    def maybe_delay(self, point: str) -> float:
+        """Sleep ``delay_s`` if ``point`` fires; return the slept seconds."""
+        spec = self._specs.get(point)
+        if spec is None or not self.should_fire(point):
+            return 0.0
+        if spec.delay_s > 0:
+            time.sleep(spec.delay_s)
+        return spec.delay_s
+
+    # ------------------------------------------------------------------
+    def occurrences(self, point: str) -> int:
+        with self._lock:
+            return self._occurrences.get(point, 0)
+
+    def fires(self, point: str) -> int:
+        with self._lock:
+            return self._fires.get(point, 0)
+
+    def total_fires(self) -> int:
+        with self._lock:
+            return sum(self._fires.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-point ``{"occurrences": n, "fires": m}`` (stable key order)."""
+        with self._lock:
+            return {
+                point: {
+                    "occurrences": self._occurrences[point],
+                    "fires": self._fires[point],
+                }
+                for point in sorted(self._specs)
+            }
+
+
+def chaos_plan(
+    seed: int = 0,
+    *,
+    worker_crashes: int = 1,
+    scorer_errors: int = 1,
+    ann_failures: int = 1,
+    flusher_crashes: int = 1,
+    scorer_delays: int = 0,
+    scorer_delay_s: float = 0.02,
+    spacing: int = 7,
+) -> FaultPlan:
+    """The standard chaos mix: one of each headline failure, spread out.
+
+    Occurrence indices are staggered (``spacing`` apart, distinct offsets
+    per point) so a short load run hits every fault without two landing on
+    the same batch.  Counts of 0 drop that point from the plan entirely.
+    """
+
+    def stagger(offset: int, count: int) -> Tuple[int, ...]:
+        return tuple(offset + spacing * i for i in range(count))
+
+    specs = []
+    if worker_crashes:
+        specs.append(FaultSpec(POOL_WORKER_CRASH, times=stagger(1, worker_crashes)))
+    if scorer_errors:
+        specs.append(FaultSpec(SCORER_ERROR, times=stagger(3, scorer_errors)))
+    if ann_failures:
+        specs.append(FaultSpec(ANN_SEARCH_ERROR, times=stagger(2, ann_failures)))
+    if flusher_crashes:
+        specs.append(FaultSpec(FLUSHER_CRASH, times=stagger(4, flusher_crashes)))
+    if scorer_delays:
+        specs.append(
+            FaultSpec(
+                SCORER_DELAY,
+                times=stagger(5, scorer_delays),
+                delay_s=scorer_delay_s,
+            )
+        )
+    return FaultPlan(specs, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Archive corruption (filesystem fault — applied to artifacts, not code paths)
+# ---------------------------------------------------------------------------
+def corrupt_archive(path: str, array: Optional[str] = None, seed: int = 0) -> str:
+    """Flip one payload byte of a stored array in an archive, in place.
+
+    Works on both archive formats (uncompressed dir and ``.npz``): the
+    metadata — including its recorded SHA-256 checksums — is left intact, so
+    a subsequent checksum-verified load raises ``ArchiveCorrupted`` exactly
+    as a real bit-flip or truncated write would.  Returns the name of the
+    corrupted array.  ``array`` picks the victim explicitly; otherwise a
+    seeded RNG chooses among the non-empty arrays.
+    """
+    rng = np.random.default_rng(seed)
+    if os.path.isdir(path):
+        names = sorted(
+            f[: -len(".npy")]
+            for f in os.listdir(path)
+            if f.endswith(".npy") and os.path.getsize(os.path.join(path, f)) > 128
+        )
+        if not names:
+            raise ValueError(f"no corruptible arrays in archive dir {path!r}")
+        target = array if array is not None else names[int(rng.integers(len(names)))]
+        file_path = os.path.join(path, target + ".npy")
+        # Flip the final byte: .npy layout is header-then-raw-data, so the
+        # last byte of a non-empty array's file is always payload.
+        with open(file_path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            original = fh.read(1)[0]
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([original ^ 0xFF]))
+        return target
+    if not zipfile.is_zipfile(path):
+        raise ValueError(f"{path!r} is neither an archive dir nor an npz archive")
+    with np.load(path, allow_pickle=False) as archive:
+        payload = {name: np.array(archive[name]) for name in archive.files}
+    names = sorted(
+        n for n, v in payload.items() if not n.startswith("__") and v.nbytes > 0
+    )
+    if not names:
+        raise ValueError(f"no corruptible arrays in npz archive {path!r}")
+    target = array if array is not None else names[int(rng.integers(len(names)))]
+    victim = np.ascontiguousarray(payload[target])
+    flat = victim.reshape(-1).view(np.uint8)
+    flat[int(rng.integers(flat.size))] ^= 0xFF
+    payload[target] = victim.reshape(payload[target].shape)
+    np.savez_compressed(path, **payload)
+    return target

@@ -27,6 +27,11 @@ end-to-end percentiles with the service's own
 :class:`~repro.serving.stats.ServingStats` view.  Used by
 ``benchmarks/bench_service_load.py`` (the CI load gate) and ``repro
 serve --load-test``-style experiments; see docs/serving.md.
+
+:func:`run_chaos` layers deterministic fault injection on top of the
+closed-loop discipline and audits the end-of-run books — every admitted
+request must resolve exactly once as ok / degraded / failed; see
+docs/robustness.md.
 """
 
 from .workload import (
@@ -38,6 +43,7 @@ from .workload import (
     zipf_users,
 )
 from .runner import LoadReport, run_closed_loop, run_open_loop
+from .chaos import ChaosReport, run_chaos, verify_accounting
 
 __all__ = [
     "ArrivalSchedule",
@@ -49,4 +55,7 @@ __all__ = [
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",
+    "ChaosReport",
+    "run_chaos",
+    "verify_accounting",
 ]

@@ -13,6 +13,15 @@ Shed requests (``Overloaded`` / ``RateLimited`` / ``GatewayClosed``) are
 reason and keep going, which is what lets an open-loop burst run
 demonstrate that queue depth stays bounded while the overflow is
 accounted for in ``gateway_shed_total``.
+
+Under chaos (a :class:`~repro.faults.FaultPlan` installed in the stack)
+two more outcome classes appear and the runners account for both:
+degraded answers (:class:`~repro.serving.service.DegradedResponse`,
+counted in ``n_degraded``) and typed post-admission failures
+(``DeadlineExceeded`` / ``FlusherCrashed`` / ``BackendError`` /
+``WorkerCrashed`` …, counted by class name in ``n_failed``).  A stored
+error must never kill a worker thread — every admitted request resolves
+to exactly one of ok / degraded / timeout / failed.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from ..serving.gateway import (
     RateLimited,
     ServingGateway,
 )
-from ..serving.service import ResultTimeout
+from ..serving.service import DegradedResponse, ResultTimeout
 from .workload import ArrivalSchedule, LoadRequest, arrival_times
 
 #: exception class → shed-reason key (mirrors gateway_shed_total labels)
@@ -40,6 +49,33 @@ _SHED_REASON = {
     RateLimited: "rate_limited",
     GatewayClosed: "closed",
 }
+
+
+def _await_outcome(
+    pending,
+    timeout_s: float,
+    latencies: List[float],
+    failed: Dict[str, int],
+    began: Optional[float] = None,
+) -> tuple:
+    """Resolve one admitted request into (ok_delta, degraded_delta, timeout_delta).
+
+    Failures land in ``failed`` keyed by exception class name; nothing
+    propagates, so runner threads survive any stored backend error.
+    """
+    try:
+        answer = pending.result(timeout=timeout_s)
+    except ResultTimeout:
+        return 0, 0, 1
+    except Exception as exc:  # typed GatewayError or a raw backend error
+        name = type(exc).__name__ if isinstance(exc, GatewayError) else "other"
+        failed[name] = failed.get(name, 0) + 1
+        return 0, 0, 0
+    if began is not None:
+        latencies.append(time.perf_counter() - began)
+    if isinstance(answer, DegradedResponse):
+        return 0, 1, 0
+    return 1, 0, 0
 
 
 @dataclass
@@ -68,18 +104,29 @@ class LoadReport:
     max_queue_depth: int
     n_shed: Dict[str, int] = field(default_factory=dict)
     serving: Dict[str, float] = field(default_factory=dict)
+    #: admitted requests answered by the degradation ladder (chaos runs)
+    n_degraded: int = 0
+    #: admitted requests that resolved to an error, keyed by exception class
+    n_failed: Dict[str, int] = field(default_factory=dict)
 
     @property
     def shed_total(self) -> int:
         return sum(self.n_shed.values())
+
+    @property
+    def failed_total(self) -> int:
+        return sum(self.n_failed.values())
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "mode": self.mode,
             "n_requests": self.n_requests,
             "n_ok": self.n_ok,
+            "n_degraded": self.n_degraded,
             "n_shed": dict(self.n_shed),
             "shed_total": self.shed_total,
+            "n_failed": dict(self.n_failed),
+            "failed_total": self.failed_total,
             "n_timeout": self.n_timeout,
             "duration_s": self.duration_s,
             "offered_qps": self.offered_qps,
@@ -110,6 +157,8 @@ def _finish_report(
     offered: int,
     latencies: Sequence[float],
     max_depth: int,
+    n_degraded: int = 0,
+    n_failed: Optional[Dict[str, int]] = None,
 ) -> LoadReport:
     serving = gateway.service.stats.snapshot()
     duration = max(duration, 1e-9)
@@ -128,6 +177,8 @@ def _finish_report(
         client_p99_ms=_percentile_ms(latencies, 99),
         max_queue_depth=max_depth,
         serving=serving,
+        n_degraded=n_degraded,
+        n_failed=dict(n_failed or {}),
     )
 
 
@@ -154,7 +205,8 @@ def run_closed_loop(
     def worker(shard: List[LoadRequest]) -> None:
         latencies: List[float] = []
         shed: Dict[str, int] = {}
-        timeouts = 0
+        failed: Dict[str, int] = {}
+        ok = degraded = timeouts = 0
         max_depth = 0
         for request in shard:
             began = time.perf_counter()
@@ -171,14 +223,14 @@ def run_closed_loop(
                 shed[reason] = shed.get(reason, 0) + 1
                 continue
             max_depth = max(max_depth, gateway.queue_depth)
-            try:
-                pending.result(timeout=result_timeout_s)
-            except ResultTimeout:
-                timeouts += 1
-                continue
-            latencies.append(time.perf_counter() - began)
+            d_ok, d_deg, d_to = _await_outcome(
+                pending, result_timeout_s, latencies, failed, began
+            )
+            ok += d_ok
+            degraded += d_deg
+            timeouts += d_to
         with results_lock:
-            results.append((latencies, shed, timeouts, max_depth))
+            results.append((latencies, shed, timeouts, max_depth, ok, degraded, failed))
 
     pool = [
         threading.Thread(target=worker, args=(shard,), name=f"repro-loadgen-{i}")
@@ -194,17 +246,23 @@ def run_closed_loop(
 
     latencies: List[float] = []
     shed: Dict[str, int] = {}
-    timeouts = 0
+    failed: Dict[str, int] = {}
+    ok = degraded = timeouts = 0
     max_depth = 0
-    for thread_lat, thread_shed, thread_timeouts, thread_depth in results:
+    for thread_lat, thread_shed, thread_timeouts, thread_depth, thread_ok, thread_deg, thread_failed in results:
         latencies.extend(thread_lat)
         for reason, count in thread_shed.items():
             shed[reason] = shed.get(reason, 0) + count
+        for name, count in thread_failed.items():
+            failed[name] = failed.get(name, 0) + count
         timeouts += thread_timeouts
         max_depth = max(max_depth, thread_depth)
+        ok += thread_ok
+        degraded += thread_deg
     return _finish_report(
-        "closed", gateway, len(requests), len(latencies), shed, timeouts,
+        "closed", gateway, len(requests), ok, shed, timeouts,
         duration, len(requests), latencies, max_depth,
+        n_degraded=degraded, n_failed=failed,
     )
 
 
@@ -249,17 +307,16 @@ def run_open_loop(
         pending_list.append(pending)
         max_depth = max(max_depth, gateway.queue_depth)
     gateway.drain()
-    n_ok = 0
+    n_ok = degraded = 0
+    failed: Dict[str, int] = {}
     for pending in pending_list:
-        try:
-            pending.result(timeout=result_timeout_s)
-            n_ok += 1
-        except ResultTimeout:
-            timeouts += 1
-        except Exception:
-            pass  # per-request failure isolation: counted as not-ok
+        d_ok, d_deg, d_to = _await_outcome(pending, result_timeout_s, [], failed)
+        n_ok += d_ok
+        degraded += d_deg
+        timeouts += d_to
     duration = time.perf_counter() - began
     return _finish_report(
         "open", gateway, len(requests), n_ok, shed, timeouts,
         duration, len(requests), (), max_depth,
+        n_degraded=degraded, n_failed=failed,
     )

@@ -173,6 +173,7 @@ class BatchRuntime:
         config: Optional[RuntimeConfig] = None,
         exclude_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         ann=None,
+        fault_plan=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         branches = list(getattr(source, "branches", source))
@@ -189,6 +190,7 @@ class BatchRuntime:
             mode=self.config.mode,
             initializer=_init_process_worker,
             initargs=(self._worker_spec(source, branches, exclude_csr, ann),),
+            fault_plan=fault_plan,
         )
         self.mode = self._pool.mode
 

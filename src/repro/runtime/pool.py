@@ -14,16 +14,60 @@ missing ``/dev/shm``), and to serial execution when even threads are
 unavailable.  Explicitly requested modes fall back the same way with a
 warning rather than crashing an evaluation that would succeed serially —
 results are identical in every mode, only wall time differs.
+
+Crash recovery: process-mode ``map`` is *supervised*.  ``multiprocessing``
+respawns a worker that dies mid-task, but the task itself is lost and a
+bare ``Pool.map`` would block on it forever (historically only the 60 s
+reinitialize barrier ever noticed).  The supervised dispatcher polls task
+completion, detects worker deaths by watching the pool's live pid set, and
+resubmits the lost chunks with bounded retries (``max_chunk_retries``)
+before failing loudly with :class:`WorkerCrashed`.  Chunk kernels are pure,
+so a resubmitted chunk that turns out not to have been lost merely wastes
+one duplicate computation — it cannot change results.  Deaths and retries
+are counted (``pool_worker_deaths_total`` / ``pool_chunk_retries_total``)
+when a registry is attached.
+
+Deterministic crash drills: pass a :class:`~repro.faults.FaultPlan` with a
+``pool.worker_crash`` spec.  The plan is consulted in the *parent* at
+submit time (cross-process determinism) and a firing occurrence ships a
+crash marker instead of the real payload; the worker that picks it up dies
+via ``os._exit`` exactly as a segfaulted or OOM-killed worker would.
+Resubmissions consult the plan again, so an always-fire spec exhausts the
+retry budget and proves the loud-failure path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..faults import POOL_WORKER_CRASH, FaultPlan
+
 MODES = ("auto", "serial", "thread", "process")
+
+
+class WorkerCrashed(RuntimeError):
+    """A process worker died and the lost chunk's bounded retries ran out."""
+
+
+class _CrashMarker:
+    """Payload substitute that makes the receiving worker die abruptly."""
+
+    __slots__ = ("exit_code",)
+
+    def __init__(self, exit_code: int = 1) -> None:
+        self.exit_code = exit_code
+
+
+def _supervised_call(fn, payload):
+    """Worker-side shim for supervised dispatch: run the chunk, or die."""
+    if isinstance(payload, _CrashMarker):
+        # Bypass every handler and finally block, like a real hard crash.
+        os._exit(payload.exit_code)
+    return fn(payload)
 
 
 def _fork_context():
@@ -86,13 +130,21 @@ class WorkerPool:
         initargs: Sequence = (),
         initialize_local: bool = False,
         registry=None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_chunk_retries: int = 2,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if max_chunk_retries < 0:
+            raise ValueError(f"max_chunk_retries must be >= 0, got {max_chunk_retries}")
         self.workers = int(workers)
         self.requested_mode = mode
+        self.fault_plan = fault_plan
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.worker_deaths = 0
+        self.chunk_retries = 0
         self._pool = None
         self._executor = None
         self._barrier = None
@@ -101,7 +153,15 @@ class WorkerPool:
         self._initialize_local = initialize_local
         self.mode = self._resolve(mode)
         self.registry = registry
+        self._deaths_counter = None
+        self._retries_counter = None
         if registry is not None:
+            self._deaths_counter = registry.counter(
+                "pool_worker_deaths_total", "Process-pool workers that died mid-map."
+            )
+            self._retries_counter = registry.counter(
+                "pool_chunk_retries_total", "Lost chunks resubmitted after a worker death."
+            )
             self._map_calls = registry.counter(
                 "pool_map_calls_total", "WorkerPool.map invocations, by pool mode.",
                 labels=("mode",),
@@ -185,10 +245,85 @@ class WorkerPool:
 
     def _map(self, fn: Callable, payloads: List) -> List:
         if self.mode == "process":
-            return self._pool.map(fn, payloads, chunksize=1)
+            return self._map_process(fn, payloads)
         if self.mode == "thread":
             return list(self._executor.map(fn, payloads))
         return [fn(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    # Supervised process dispatch (crash detection + bounded chunk retry)
+    # ------------------------------------------------------------------
+    def _live_worker_pids(self) -> Optional[frozenset]:
+        """Pids of pool workers still running (None if not introspectable)."""
+        procs = getattr(self._pool, "_pool", None)
+        if procs is None:  # pragma: no cover - unexpected stdlib change
+            return None
+        return frozenset(p.pid for p in list(procs) if p.exitcode is None)
+
+    def _note_worker_deaths(self, n: int) -> None:
+        self.worker_deaths += n
+        if self._deaths_counter is not None:
+            self._deaths_counter.inc(n)
+
+    def _note_chunk_retry(self) -> None:
+        self.chunk_retries += 1
+        if self._retries_counter is not None:
+            self._retries_counter.inc()
+
+    def _map_process(self, fn: Callable, payloads: List) -> List:
+        n = len(payloads)
+        results: List = [None] * n
+        attempts = [0] * n
+        handles: dict = {}
+
+        def submit(i: int) -> None:
+            payload = payloads[i]
+            if self.fault_plan is not None and self.fault_plan.should_fire(
+                POOL_WORKER_CRASH
+            ):
+                payload = _CrashMarker()
+            handles[i] = self._pool.apply_async(_supervised_call, (fn, payload))
+
+        # Capture the live set *before* dispatch: a worker that dies between
+        # submit and the first poll must still show up as a pid-set change.
+        live = self._live_worker_pids()
+        for i in range(n):
+            submit(i)
+        outstanding = set(range(n))
+        while outstanding:
+            progressed = False
+            for i in sorted(outstanding):
+                if handles[i].ready():
+                    results[i] = handles[i].get()
+                    outstanding.discard(i)
+                    progressed = True
+            if progressed or not outstanding:
+                continue
+            # Results come back roughly in dispatch order, so the lowest
+            # outstanding handle is the best thing to block on; the short
+            # timeout bounds how long a worker death goes unnoticed.
+            handles[min(outstanding)].wait(timeout=0.05)
+            now_live = self._live_worker_pids()
+            if now_live is None or now_live == live:
+                continue
+            dead = () if live is None else live - now_live
+            live = now_live
+            if not dead:
+                continue  # only respawns observed; no task was lost
+            self._note_worker_deaths(len(dead))
+            for i in sorted(outstanding):
+                if handles[i].ready():
+                    continue
+                attempts[i] += 1
+                if attempts[i] > self.max_chunk_retries:
+                    raise WorkerCrashed(
+                        f"chunk {i} lost to a dead process worker "
+                        f"{attempts[i]} times (max_chunk_retries="
+                        f"{self.max_chunk_retries}); giving up"
+                    )
+                self._note_chunk_retry()
+                submit(i)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

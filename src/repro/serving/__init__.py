@@ -34,10 +34,27 @@ from .filters import (
     combine_signature,
 )
 from .fallback import PriceProfileFallback
+from .errors import (
+    BackendError,
+    DeadlineExceeded,
+    FlusherCrashed,
+    GatewayClosed,
+    GatewayError,
+    Overloaded,
+    RateLimited,
+)
+from .resilience import (
+    FALLBACK_STAGES,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResiliencePolicy,
+    is_transient,
+)
 from .retrieval import RetrievalEngine, RetrievalResult
 from .service import (
     COLD,
     WARM,
+    DegradedResponse,
     PendingRecommendation,
     Recommendation,
     RecommenderService,
@@ -45,11 +62,7 @@ from .service import (
     ResultTimeout,
 )
 from .gateway import (
-    GatewayClosed,
     GatewayConfig,
-    GatewayError,
-    Overloaded,
-    RateLimited,
     ServingGateway,
     TokenBucket,
 )
@@ -77,6 +90,7 @@ __all__ = [
     "RetrievalResult",
     "RecommenderService",
     "Recommendation",
+    "DegradedResponse",
     "PendingRecommendation",
     "Request",
     "ResultTimeout",
@@ -86,7 +100,15 @@ __all__ = [
     "Overloaded",
     "RateLimited",
     "GatewayClosed",
+    "DeadlineExceeded",
+    "FlusherCrashed",
+    "BackendError",
     "TokenBucket",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResiliencePolicy",
+    "FALLBACK_STAGES",
+    "is_transient",
     "WARM",
     "COLD",
     "LatencyRecorder",

@@ -54,8 +54,18 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..faults import FLUSHER_CRASH, FaultPlan
 from ..obs.metrics import MetricsRegistry, log_buckets
 from ..obs.trace import Tracer, maybe_span
+from .errors import (  # noqa: F401 - historical import location, re-exported
+    BackendError,
+    DeadlineExceeded,
+    FlusherCrashed,
+    GatewayClosed,
+    GatewayError,
+    Overloaded,
+    RateLimited,
+)
 from .filters import Filter
 from .service import PendingRecommendation, RecommenderService
 
@@ -67,26 +77,6 @@ SHED_REASONS = ("queue_full", "rate_limited", "closed")
 
 #: flush triggers (pre-seeded likewise)
 FLUSH_TRIGGERS = ("size", "deadline", "drain")
-
-
-class GatewayError(RuntimeError):
-    """Base class for gateway admission rejections."""
-
-
-class Overloaded(GatewayError):
-    """The admission queue is at ``max_queue_depth``: request shed.
-
-    Load shedding, not failure — the requests already admitted keep their
-    latency budget; this caller should back off and retry.
-    """
-
-
-class RateLimited(GatewayError):
-    """The tenant's token bucket is empty: request rejected at admission."""
-
-
-class GatewayClosed(GatewayError):
-    """Submitted after :meth:`ServingGateway.close` began."""
 
 
 class TokenBucket:
@@ -128,7 +118,9 @@ class GatewayConfig:
 
     ``max_batch_size=None`` inherits the service's; ``rate_limit=None``
     disables rate limiting; ``rate_burst=None`` defaults to one second of
-    sustained rate (minimum 1).
+    sustained rate (minimum 1).  ``deadline_ms`` is the default per-request
+    deadline stamped at admission (``None`` = no deadline); ``submit`` can
+    override it per request.
     """
 
     max_queue_depth: int = 1024
@@ -136,6 +128,7 @@ class GatewayConfig:
     max_batch_size: Optional[int] = None
     rate_limit: Optional[float] = None
     rate_burst: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -146,6 +139,8 @@ class GatewayConfig:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.rate_limit is not None and self.rate_limit <= 0:
             raise ValueError(f"rate_limit must be > 0, got {self.rate_limit}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
 
 
 class ServingGateway:
@@ -167,8 +162,10 @@ class ServingGateway:
         config: Optional[GatewayConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.service = service
+        self.fault_plan = fault_plan if fault_plan is not None else service.fault_plan
         self.config = config or GatewayConfig()
         self.registry = registry if registry is not None else service.registry
         self.tracer = service.tracer if tracer is None else tracer
@@ -210,11 +207,19 @@ class ServingGateway:
         self._depth_gauge = self.registry.gauge(
             "gateway_queue_depth", "Requests waiting in the admission queue."
         )
-
-        self._flusher = threading.Thread(
-            target=self._flusher_loop, name="repro-gateway-flusher", daemon=True
+        self._flusher_restarts = self.registry.counter(
+            "gateway_flusher_restarts_total",
+            "Background flusher threads restarted after an uncaught exception.",
         )
-        self._flusher.start()
+
+        self._flusher = self._start_flusher()
+
+    def _start_flusher(self) -> threading.Thread:
+        flusher = threading.Thread(
+            target=self._flusher_main, name="repro-gateway-flusher", daemon=True
+        )
+        flusher.start()
+        return flusher
 
     # ------------------------------------------------------------------
     # Admission
@@ -243,14 +248,19 @@ class ServingGateway:
         filters: Sequence[Filter] = (),
         price_profile: Optional[np.ndarray] = None,
         tenant: str = "default",
+        deadline_ms: Optional[float] = None,
     ) -> PendingRecommendation:
         """Admit one request; returns the service's pending future.
 
         Raises :class:`GatewayClosed` / :class:`RateLimited` /
         :class:`Overloaded` instead of queuing when admission control says
         no — a shed request costs the caller one exception and the service
-        nothing at all.
+        nothing at all.  ``deadline_ms`` (default: the config's) bounds the
+        request's queue wait; an expired request fails with
+        :class:`DeadlineExceeded` at flush time.
         """
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
         with maybe_span(
             self.tracer, "gateway.admit", cat="gateway", attrs={"tenant": tenant}
         ) as admit_span:
@@ -259,6 +269,10 @@ class ServingGateway:
                     self._shed_request("closed")
                     admit_span.set_attr("outcome", "closed")
                     raise GatewayClosed("gateway is draining; no new requests")
+                if not self._flusher.is_alive():
+                    # Defense in depth: the supervisor should never let the
+                    # flusher die, but admission must not depend on that.
+                    self._flusher = self._start_flusher()
                 bucket = self._bucket(tenant)
                 if bucket is not None and not bucket.try_acquire():
                     self._shed_request("rate_limited")
@@ -275,6 +289,7 @@ class ServingGateway:
                 pending = self.service.submit(
                     user, k=k, exclude_train=exclude_train, filters=filters,
                     price_profile=price_profile,
+                    deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
                 )
                 self._admitted.labels_key((tenant,), 1)
                 admit_span.set_attr("outcome", "admitted")
@@ -302,6 +317,33 @@ class ServingGateway:
         self.sync_gauges()
         return flushed
 
+    def _flusher_main(self) -> None:
+        """Thread target: the flusher loop under a supervisor.
+
+        An uncaught exception in the loop used to kill the thread silently —
+        the deadline trigger was gone for good, and with no size trigger in
+        reach every queued request (and every future one) hung until a
+        client timeout.  The supervisor converts that into a loud, bounded
+        event: pending requests fail with the typed
+        :class:`FlusherCrashed`, ``gateway_flusher_restarts_total`` counts
+        the incident, and the loop restarts immediately.
+        """
+        while True:
+            try:
+                self._flusher_loop()
+                return  # clean exit: the gateway closed
+            except Exception as error:  # noqa: BLE001 - supervised restart
+                self._flusher_restarts.inc()
+                self.service.fail_pending(
+                    FlusherCrashed(
+                        f"gateway flusher crashed ({error!r}); queued requests "
+                        "failed, flusher restarted"
+                    )
+                )
+                with self._cond:
+                    if self._closed:
+                        return
+
     def _flusher_loop(self) -> None:
         max_wait = self.config.max_wait_ms / 1e3
         while True:
@@ -310,6 +352,10 @@ class ServingGateway:
                     self._cond.wait()
                 if self._closed:
                     return
+            if self.fault_plan is not None:
+                # Injected with requests queued, so the drill proves both
+                # halves: fail-pending-loudly and keep-serving-afterwards.
+                self.fault_plan.maybe_fail(FLUSHER_CRASH)
             oldest = self.service.oldest_enqueued_at()
             if oldest is None:
                 continue  # a racing flush emptied the queue; go back to sleep
@@ -378,6 +424,21 @@ class ServingGateway:
     def queue_depth(self) -> int:
         return self.service.queue_depth
 
+    @property
+    def resilience(self):
+        """The service's resilience policy (None when not configured)."""
+        return self.service.resilience
+
+    @property
+    def breaker_state(self) -> Optional[str]:
+        """Circuit breaker state, or None without a resilience policy."""
+        policy = self.service.resilience
+        return None if policy is None else policy.state
+
+    def flusher_restarts(self) -> int:
+        """How many times the flusher supervisor restarted a crashed loop."""
+        return int(self._flusher_restarts.value())
+
     def sync_gauges(self) -> None:
         """Refresh point-in-time gauges (also the /metrics per-scrape hook)."""
         self._depth_gauge.set(self.service.queue_depth)
@@ -402,4 +463,5 @@ class ServingGateway:
             out[f"shed_{reason}"] = float(self._shed.value(reason=reason))
         for trigger in FLUSH_TRIGGERS:
             out[f"flushes_{trigger}"] = float(self._flushes.value(trigger=trigger))
+        out["flusher_restarts"] = float(self.flusher_restarts())
         return out

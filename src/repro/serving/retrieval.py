@@ -25,9 +25,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..eval.topk import NEG_INF, masked_topk, topk_indices_rows, topk_pairs_rows
+from ..faults import ANN_SEARCH_ERROR
 from ..obs.trace import maybe_span
 from .filters import Filter, combine_mask, combine_signature
 from .index import EmbeddingIndex
+from .resilience import is_transient
 
 
 @dataclass
@@ -56,6 +58,15 @@ class RetrievalEngine:
     its masks allow, just from a cluster-pruned candidate pool instead of
     the full catalog.  Per-request opt-out (``use_ann=False``) keeps the
     exact path one argument away.
+
+    ANN failure degrades, it never errors: a transient exception from
+    ``ann.search`` (including an injected ``ann.search_error`` fault from an
+    attached :class:`~repro.faults.FaultPlan`) makes :meth:`topk` fall back
+    to the exact blocked path for that batch — the results are the ones the
+    exact engine would have served anyway, so the fallback is bit-identical
+    correct, just slower.  ``on_ann_fallback`` (an ``error -> None``
+    callable) observes each fallback; without one a ``RuntimeWarning`` is
+    emitted so real ANN breakage is never silent.
     """
 
     def __init__(
@@ -65,6 +76,8 @@ class RetrievalEngine:
         mask_cache_capacity: int = 256,
         ann=None,
         tracer=None,
+        fault_plan=None,
+        on_ann_fallback=None,
     ) -> None:
         if item_block_size < 1:
             raise ValueError(f"item_block_size must be >= 1, got {item_block_size}")
@@ -76,6 +89,9 @@ class RetrievalEngine:
         self.index = index
         self.ann = ann
         self.tracer = tracer
+        self.fault_plan = fault_plan
+        self.on_ann_fallback = on_ann_fallback
+        self.ann_fallbacks = 0
         self.item_block_size = item_block_size
         self.mask_cache_capacity = mask_cache_capacity
         self._mask_cache: "OrderedDict[Tuple, Tuple[Optional[np.ndarray], np.ndarray]]" = OrderedDict()
@@ -141,11 +157,19 @@ class RetrievalEngine:
         if use_ann:
             if self.ann is None:
                 raise ValueError("use_ann=True but no ANN index is attached")
-            with maybe_span(
-                self.tracer, "engine.topk", cat="retrieval",
-                attrs={"path": "ann", "n_users": len(users), "k": k},
-            ):
-                return self._topk_ann(users, k, exclude_train, filters, drop_masked)
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.maybe_fail(ANN_SEARCH_ERROR)
+                with maybe_span(
+                    self.tracer, "engine.topk", cat="retrieval",
+                    attrs={"path": "ann", "n_users": len(users), "k": k},
+                ):
+                    return self._topk_ann(users, k, exclude_train, filters, drop_masked)
+            except Exception as error:
+                if not is_transient(error):
+                    raise
+                self._note_ann_fallback(error)
+                # fall through: serve this batch from the exact path
         path = "single_block" if self.index.n_items <= self.item_block_size else "blocked"
         with maybe_span(
             self.tracer, "engine.topk", cat="retrieval",
@@ -157,6 +181,19 @@ class RetrievalEngine:
                 )
             return self._topk_blocked(
                 users, k, exclude_train, self.candidate_mask(filters), drop_masked
+            )
+
+    def _note_ann_fallback(self, error: BaseException) -> None:
+        self.ann_fallbacks += 1
+        if self.on_ann_fallback is not None:
+            self.on_ann_fallback(error)
+        else:
+            import warnings
+
+            warnings.warn(
+                f"ANN search failed ({error!r}); serving this batch via exact search",
+                RuntimeWarning,
+                stacklevel=3,
             )
 
     def topk_from_scores(

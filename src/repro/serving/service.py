@@ -30,6 +30,19 @@ once — this is the substrate the always-on gateway
 
 No thread ever waits on ``_flush_lock`` while holding ``_lock``, which is
 what makes the pair deadlock-free.
+
+Failure handling (opt-in via ``resilience=ResilienceConfig()``): each batch
+group consults a circuit breaker, retries transient backend errors with
+exponential backoff, and — when retries run out or the breaker is open —
+walks the *degradation ladder* instead of erroring: serve the request's
+stale LRU-cached answer if one exists, else a price-profile fallback
+ranking.  Degraded answers are :class:`DegradedResponse` (a
+:class:`Recommendation` subclass tagged with the ladder ``stage``), counted
+in ``gateway_fallbacks_total{stage}``, and never written back to the cache.
+Per-request deadlines (``submit(deadline_s=...)``) are enforced at flush
+time with a typed :class:`~repro.serving.errors.DeadlineExceeded`.  Without
+a resilience policy the historical contract holds: backend errors propagate
+raw to ``result()``.
 """
 
 from __future__ import annotations
@@ -42,11 +55,14 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..faults import SCORER_DELAY, SCORER_ERROR, FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer, maybe_span
+from .errors import BackendError, DeadlineExceeded
 from .fallback import PriceProfileFallback
 from .filters import Filter, combine_signature
 from .index import EmbeddingIndex
+from .resilience import ResilienceConfig, ResiliencePolicy, is_transient
 from .retrieval import RetrievalEngine, RetrievalResult
 from .stats import ServingStats
 
@@ -64,13 +80,20 @@ class ResultTimeout(TimeoutError):
 
 @dataclass
 class Request:
-    """One recommendation query."""
+    """One recommendation query.
+
+    ``deadline_at`` (absolute, service-clock seconds) is enforced at flush
+    time; it is identity-irrelevant — two requests differing only in
+    deadline share a cache entry and a batch group — so it appears in
+    neither :meth:`cache_key` nor :meth:`batch_key`.
+    """
 
     user: int
     k: int
     exclude_train: bool = True
     filters: Tuple[Filter, ...] = ()
     price_profile: Optional[np.ndarray] = None
+    deadline_at: Optional[float] = None
 
     def cache_key(self) -> Tuple:
         profile = None if self.price_profile is None else tuple(np.asarray(self.price_profile, dtype=np.float64))
@@ -101,6 +124,22 @@ class Recommendation:
         return len(self.items)
 
 
+@dataclass
+class DegradedResponse(Recommendation):
+    """A degraded answer: real data, reduced quality guarantee, tagged.
+
+    Served instead of an error when the backend is failing — ``stage``
+    names the ladder rung that produced it (``breaker_cache``,
+    ``breaker_profile``, ``error_cache``, ``error_profile``).  It is a
+    :class:`Recommendation` (callers that do not care keep working), but
+    type-aware callers — the loadgen, SLA accounting — can count it
+    separately; ``isinstance(answer, DegradedResponse)`` is the contract.
+    Degraded answers are never written to the result cache.
+    """
+
+    stage: str = ""
+
+
 class PendingRecommendation:
     """Handle returned by :meth:`RecommenderService.submit`.
 
@@ -119,6 +158,7 @@ class PendingRecommendation:
         self._result: Optional[Recommendation] = None
         self._error: Optional[Exception] = None
         self._done = threading.Event()
+        self._finalize_lock = threading.Lock()
         self._span = None  # request span, finished at resolve/fail time
 
     @property
@@ -129,15 +169,29 @@ class PendingRecommendation:
         """Block until resolved (or ``timeout`` seconds); True when done."""
         return self._done.wait(timeout)
 
+    # Resolve/fail can race — a retrying group and the flusher supervisor's
+    # fail_pending may both reach one request — and outcome accounting
+    # (serving_outcomes_total) must count every request exactly once, so the
+    # first finalizer wins under _finalize_lock and later calls are no-ops.
     def _resolve(self, result: Recommendation) -> None:
-        self._result = result
-        self._done.set()
+        with self._finalize_lock:
+            if self._done.is_set():
+                return
+            self._result = result
+            self._done.set()
+        self._service.stats.record_outcome(
+            "degraded" if isinstance(result, DegradedResponse) else "ok"
+        )
         if self._span is not None:
             self._span.finish(source=result.source, cached=result.cached)
 
     def _fail(self, error: Exception) -> None:
-        self._error = error
-        self._done.set()
+        with self._finalize_lock:
+            if self._done.is_set():
+                return
+            self._error = error
+            self._done.set()
+        self._service.stats.record_outcome("failed")
         if self._span is not None:
             self._span.finish(error=type(error).__name__)
 
@@ -176,6 +230,8 @@ class RecommenderService:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         runtime=None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if default_k < 1:
             raise ValueError(f"default_k must be >= 1, got {default_k}")
@@ -184,8 +240,10 @@ class RecommenderService:
         self.index = index
         self.item_block_size = item_block_size
         self.tracer = tracer
+        self.fault_plan = fault_plan
         self.engine = RetrievalEngine(
-            index, item_block_size=item_block_size, ann=ann, tracer=tracer
+            index, item_block_size=item_block_size, ann=ann, tracer=tracer,
+            fault_plan=fault_plan, on_ann_fallback=self._on_ann_fallback,
         )
         self.fallback = PriceProfileFallback(index)
         self.default_k = default_k
@@ -211,6 +269,13 @@ class RecommenderService:
         self._queue: List[Tuple[Request, PendingRecommendation, float]] = []
         self.stats = ServingStats(clock=self._clock, registry=registry)
         self.registry = self.stats.registry
+        # Resilience is opt-in: None keeps the historical contract (backend
+        # errors propagate raw; no breaker, no retries, no degradation).
+        self.resilience: Optional[ResiliencePolicy] = None
+        if resilience is not None:
+            self.resilience = ResiliencePolicy(
+                resilience, registry=self.registry, clock=self._clock
+            )
         # Point-in-time gauges are refreshed by _sync_gauges — called once
         # per flush and as the metrics server's per-scrape update_fn, never
         # per request (the submit path is latency-gated by bench_serving).
@@ -232,6 +297,10 @@ class RecommenderService:
         ann = self.engine.ann
         report = ann.memory_report() if hasattr(ann, "memory_report") else None
         self.stats.set_ann_index_bytes(report)
+
+    def _on_ann_fallback(self, error: BaseException) -> None:
+        """Engine hook: one ANN search failed and was served exactly instead."""
+        self.stats.record_fallback("ann_exact")
 
     @property
     def ann(self):
@@ -260,24 +329,34 @@ class RecommenderService:
         first) or answers its whole snapshot from the new one — never a
         mix.  An attached backend runtime is refreshed in place.
 
+        Complete-or-roll-back: every fallible step — building the new
+        engine (which validates the ANN/catalog pairing) and refreshing the
+        backend runtime — runs *before* any service state changes.  If one
+        raises, the service keeps serving the old (index, engine, fallback)
+        triple and cache untouched; a torn state where ``self.index`` is
+        new but ``self.engine`` still scores the old catalog cannot occur.
+
         Returns the number of cached results evicted.
         """
         with self._flush_lock:
             self.flush()
-            with self._lock:
-                self.index = index
-                self.engine = RetrievalEngine(
-                    index, item_block_size=self.item_block_size, ann=ann,
-                    tracer=self.tracer,
-                )
-                self.fallback = PriceProfileFallback(index)
-                evicted = len(self._cache)
-                self._cache.clear()
+            engine = RetrievalEngine(
+                index, item_block_size=self.item_block_size, ann=ann,
+                tracer=self.tracer, fault_plan=self.fault_plan,
+                on_ann_fallback=self._on_ann_fallback,
+            )
+            fallback = PriceProfileFallback(index)
             if self.runtime is not None:
                 exclude_csr = None
                 if self.runtime.has_exclusions:
                     exclude_csr = (index.exclude_indptr, index.exclude_indices)
                 self.runtime.refresh(index, exclude_csr=exclude_csr)
+            with self._lock:
+                self.index = index
+                self.engine = engine
+                self.fallback = fallback
+                evicted = len(self._cache)
+                self._cache.clear()
             self._publish_ann_bytes()
         return evicted
 
@@ -291,6 +370,7 @@ class RecommenderService:
         exclude_train: bool = True,
         filters: Sequence[Filter] = (),
         price_profile: Optional[np.ndarray] = None,
+        deadline_s: Optional[float] = None,
     ) -> PendingRecommendation:
         """Enqueue a request; flushes automatically at ``max_batch_size``.
 
@@ -299,8 +379,13 @@ class RecommenderService:
         ``price_profile`` only steers the cold-start fallback; for warm
         users (answered by the full model score) it is validated, then
         dropped — so every profile variant of a warm request shares one
-        cache entry.
+        cache entry.  ``deadline_s`` (relative seconds) bounds how long the
+        request may wait in the queue: a flush that finds it expired fails
+        it with :class:`~repro.serving.errors.DeadlineExceeded` instead of
+        scoring it.
         """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         if price_profile is not None:
             price_profile = self.fallback.normalize_profile(price_profile)
             if self.index.is_warm(int(user)):
@@ -311,6 +396,7 @@ class RecommenderService:
             exclude_train=exclude_train,
             filters=tuple(filters),
             price_profile=price_profile,
+            deadline_at=None if deadline_s is None else self._clock() + deadline_s,
         )
         if request.k < 1:
             raise ValueError(f"k must be >= 1, got {request.k}")
@@ -430,8 +516,27 @@ class RecommenderService:
             queue, self._queue = self._queue, []
         self._sync_gauges()
 
+        # Deadline sweep: a request that waited out its budget fails typed,
+        # before the batch spends compute on an answer nobody awaits.
+        now = self._clock()
+        live = queue
+        if any(request.deadline_at is not None for request, _, _ in queue):
+            live = []
+            for entry in queue:
+                request, pending, _ = entry
+                if request.deadline_at is not None and now > request.deadline_at:
+                    self.stats.record_deadline_exceeded()
+                    pending._fail(
+                        DeadlineExceeded(
+                            f"request for user {request.user} missed its deadline "
+                            "before its batch ran"
+                        )
+                    )
+                else:
+                    live.append(entry)
+
         groups: "OrderedDict[Tuple, List[Tuple[Request, PendingRecommendation, float]]]" = OrderedDict()
-        for request, pending, enqueued_at in queue:
+        for request, pending, enqueued_at in live:
             groups.setdefault(request.batch_key(), []).append((request, pending, enqueued_at))
 
         with self._flush_lock:
@@ -457,15 +562,147 @@ class RecommenderService:
                         )
         return len(queue)
 
-    @staticmethod
-    def _run_group(answer, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
-        """Answer one group; on error, fail its requests instead of raising."""
-        try:
-            answer(entries)
-        except Exception as error:  # noqa: BLE001 - delivered via result()
-            for _, pending, _ in entries:
-                if not pending.done:
-                    pending._fail(error)
+    def _run_group(self, answer, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
+        """Answer one group; on error, fail its requests instead of raising.
+
+        With a resilience policy attached this is where the failure ladder
+        lives:
+
+        1. breaker open → skip the backend, degrade the whole group;
+        2. transient error → retry with exponential backoff (feeding the
+           breaker) while nothing in the group has resolved yet;
+        3. retries exhausted → degrade (``degrade=True``) or fail every
+           request with a typed :class:`BackendError`;
+        4. non-transient error → fail raw immediately (a malformed request
+           must not trip the breaker or hide behind a fallback answer).
+
+        Without a policy, the historical behavior: one attempt, raw error
+        delivered through ``result()``.
+        """
+        policy = self.resilience
+        if policy is not None and not policy.allow():
+            self._degrade_entries(entries, prefix="breaker")
+            return
+        attempt = 0
+        while True:
+            try:
+                answer(entries)
+            except Exception as error:  # noqa: BLE001 - delivered via result()
+                if policy is None or not is_transient(error):
+                    for _, pending, _ in entries:
+                        if not pending.done:
+                            pending._fail(error)
+                    return
+                policy.record_failure()
+                resolved_any = any(pending.done for _, pending, _ in entries)
+                if attempt < policy.config.retries and not resolved_any:
+                    attempt += 1
+                    self.stats.record_retry()
+                    policy.sleep_backoff(attempt)
+                    if policy.allow():
+                        continue
+                    self._degrade_entries(entries, prefix="breaker")
+                    return
+                if policy.config.degrade:
+                    self._degrade_entries(entries, prefix="error")
+                    return
+                failure = BackendError(
+                    f"backend failed after {attempt + 1} attempt(s): {error!r}"
+                )
+                failure.__cause__ = error
+                for _, pending, _ in entries:
+                    if not pending.done:
+                        pending._fail(failure)
+                return
+            else:
+                if policy is not None:
+                    policy.record_success()
+                return
+
+    def _degrade_entries(
+        self,
+        entries: List[Tuple[Request, PendingRecommendation, float]],
+        prefix: str,
+    ) -> None:
+        """Walk the degradation ladder for a group the backend cannot answer.
+
+        Per request: serve its stale LRU-cached answer when one exists
+        (stage ``{prefix}_cache``), otherwise rank the price-profile
+        fallback scores (stage ``{prefix}_profile`` — the paper's
+        cold-start path, which needs no model matmul).  Either way the
+        caller gets a :class:`DegradedResponse`; nothing is written back
+        to the cache, so recovered backends serve fresh answers.
+        """
+        began = self._clock()
+        with maybe_span(
+            self.tracer, "batch.degraded", cat="serving",
+            attrs={"n_requests": len(entries), "prefix": prefix},
+        ):
+            profile_scores: Optional[np.ndarray] = None
+            for request, pending, _ in entries:
+                if pending.done:
+                    continue
+                try:
+                    cached = self._cache_get(request.cache_key())
+                    if cached is not None:
+                        answer = DegradedResponse(
+                            user=cached.user,
+                            items=cached.items.copy(),
+                            scores=cached.scores.copy(),
+                            source=cached.source,
+                            cached=True,
+                            stage=f"{prefix}_cache",
+                        )
+                    else:
+                        if profile_scores is None or request.price_profile is not None:
+                            scores = self.fallback.scores(request.price_profile)
+                            if request.price_profile is None:
+                                profile_scores = scores
+                        else:
+                            scores = profile_scores
+                        exclude = None
+                        if request.exclude_train and 0 <= request.user < self.index.n_users:
+                            exclude = self.index.excluded_items(request.user)
+                        result = self.engine.topk_from_scores(
+                            scores, k=request.k, exclude_items=exclude,
+                            filters=request.filters,
+                        )
+                        answer = DegradedResponse(
+                            user=request.user,
+                            items=result.items,
+                            scores=result.scores,
+                            source=COLD,
+                            stage=f"{prefix}_profile",
+                        )
+                    self.stats.record_fallback(answer.stage)
+                    pending._resolve(answer)
+                except Exception as degrade_error:  # noqa: BLE001
+                    if not pending.done:
+                        failure = BackendError(
+                            f"degradation ladder failed too: {degrade_error!r}"
+                        )
+                        failure.__cause__ = degrade_error
+                        pending._fail(failure)
+        self.stats.record_batch(
+            n_requests=len(entries),
+            n_items_scored=self.index.n_items,
+            seconds=self._clock() - began,
+        )
+
+    def fail_pending(self, error: Exception) -> int:
+        """Fail every queued request with ``error``; returns how many.
+
+        The flusher supervisor's tool: when the gateway's background
+        flusher dies, the requests it was responsible for must fail loudly
+        and promptly rather than hang until a client timeout.
+        """
+        with self._lock:
+            queue, self._queue = self._queue, []
+        for _, pending, _ in queue:
+            if not pending.done:
+                pending._fail(error)
+        self._sync_gauges()
+        return len(queue)
 
     def _route_via_runtime(self, request: Request) -> bool:
         """Whether a warm group with this shape may run on the backend runtime.
@@ -485,6 +722,12 @@ class RecommenderService:
         )
 
     def _answer_warm(self, entries: List[Tuple[Request, PendingRecommendation, float]]) -> None:
+        if self.fault_plan is not None:
+            # Chaos drill hooks: a slow scorer stalls the batch, a poisoned
+            # scorer raises — exercised before any compute, like a failure
+            # in the first matmul would be.
+            self.fault_plan.maybe_delay(SCORER_DELAY)
+            self.fault_plan.maybe_fail(SCORER_ERROR)
         first = entries[0][0]
         users = [request.user for request, _, _ in entries]
         began = self._clock()

@@ -28,6 +28,10 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry
+from .resilience import FALLBACK_STAGES
+
+#: terminal request outcomes (pre-seeded so accounting series always scrape)
+OUTCOMES = ("ok", "degraded", "failed")
 
 
 class LatencyRecorder:
@@ -133,6 +137,32 @@ class ServingStats:
         # Pre-seed with kind="none" so the family is scrapeable before any
         # ANN index is attached (same idiom as the gateway shed series).
         self.set_ann_index_bytes({"kind": "none", "tiers": {"hot": 0, "cold": 0}})
+        # Outcome + resilience accounting.  The chaos gate's invariant is
+        # admitted requests == ok + degraded + failed, verified off a live
+        # /metrics scrape — hence every series is pre-seeded to exist from
+        # scrape one.  (The gateway_* names match the gateway-side families
+        # they complete; they live here because the service resolves the
+        # requests.)
+        self._outcomes = self.registry.counter(
+            "serving_outcomes_total", "Resolved requests, by terminal outcome.",
+            labels=("outcome",),
+        )
+        for outcome in OUTCOMES:
+            self._outcomes.labels_key((outcome,), 0)
+        self._fallbacks = self.registry.counter(
+            "gateway_fallbacks_total",
+            "Degraded answers served, by degradation-ladder stage.",
+            labels=("stage",),
+        )
+        for stage in FALLBACK_STAGES:
+            self._fallbacks.labels_key((stage,), 0)
+        self._retries = self.registry.counter(
+            "gateway_retries_total", "Backend retry attempts after transient errors."
+        )
+        self._deadline_exceeded = self.registry.counter(
+            "gateway_deadline_exceeded_total",
+            "Requests failed because their deadline passed before their batch.",
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -163,6 +193,20 @@ class ServingStats:
 
     def record_cache(self, hit: bool) -> None:
         self._cache_lookups.labels_key(("hit" if hit else "miss",), 1)
+
+    def record_outcome(self, outcome: str) -> None:
+        """Count one request's terminal outcome: ok, degraded, or failed."""
+        self._outcomes.labels_key((outcome,), 1)
+
+    def record_fallback(self, stage: str) -> None:
+        """Count one degraded answer by its degradation-ladder stage."""
+        self._fallbacks.labels_key((stage,), 1)
+
+    def record_retry(self) -> None:
+        self._retries.inc()
+
+    def record_deadline_exceeded(self) -> None:
+        self._deadline_exceeded.inc()
 
     def record_batch(
         self,
@@ -225,6 +269,22 @@ class ServingStats:
     def batches(self) -> int:
         return int(self._batches.value())
 
+    def outcome_count(self, outcome: str) -> int:
+        return int(self._outcomes.value(outcome=outcome))
+
+    def fallback_count(self, stage: Optional[str] = None) -> int:
+        if stage is not None:
+            return int(self._fallbacks.value(stage=stage))
+        return sum(int(self._fallbacks.value(stage=s)) for s in FALLBACK_STAGES)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value())
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return int(self._deadline_exceeded.value())
+
     @property
     def items_scored(self) -> int:
         return int(self._items_scored.value())
@@ -262,7 +322,7 @@ class ServingStats:
         }
 
     def extended_snapshot(self) -> Dict[str, float]:
-        """:meth:`snapshot` plus the queue-wait / compute-only breakdown."""
+        """:meth:`snapshot` plus queue-wait/compute and outcome breakdowns."""
         out = self.snapshot()
         out.update(
             {
@@ -272,6 +332,11 @@ class ServingStats:
                 "batch_duration_p50_ms": self._batch_duration.percentile(50) * 1e3,
                 "batch_duration_p99_ms": self._batch_duration.percentile(99) * 1e3,
                 "batch_duration_mean_ms": self._batch_duration.mean() * 1e3,
+                "retries": float(self.retries),
+                "deadline_exceeded": float(self.deadline_exceeded),
+                "fallbacks": float(self.fallback_count()),
             }
         )
+        for outcome in OUTCOMES:
+            out[f"outcome_{outcome}"] = float(self.outcome_count(outcome))
         return out

@@ -21,13 +21,27 @@ Two interchangeable container formats exist:
 :func:`read_archive_metadata` / :func:`read_archive_arrays` accept either
 format transparently (a path that is a directory is read as one); the
 checkpoint functions below and the serving index build on them.
+
+Durability guarantees (both formats):
+
+* **Atomic publish** — writers fill a ``*.tmp-<pid>`` staging sibling and
+  rename it into place, so a crashed export can never be loaded
+  half-written; stale staging leftovers are swept by
+  :func:`clean_stale_archives` (called on experiment load) and by the next
+  write to the same path.
+* **Content checksums** — the metadata header records a SHA-256 digest per
+  array; readers verify on load (skipped for ``mmap`` loads unless forced)
+  and raise the typed :class:`ArchiveCorrupted` naming the bad array.
+  Archives written before checksums existed load without verification.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Dict
+import shutil
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -36,6 +50,14 @@ from ..core.base import Recommender
 _METADATA_KEY = "__metadata__"
 _DIR_METADATA_FILENAME = "metadata.json"
 _NPY_SUFFIX = ".npy"
+_STAGING_TOKEN = ".tmp-"
+
+#: metadata header field holding the per-array SHA-256 hex digests
+CHECKSUM_KEY = "sha256"
+
+
+class ArchiveCorrupted(RuntimeError):
+    """An archive's stored SHA-256 checksum did not match its bytes on load."""
 
 #: header field naming the artifact kind; absent in archives written before
 #: the field existed, which are treated as checkpoints
@@ -46,8 +68,71 @@ CHECKPOINT_KIND = "checkpoint"
 # ----------------------------------------------------------------------
 # Generic archive layer
 # ----------------------------------------------------------------------
+def _array_checksum(value: np.ndarray) -> str:
+    """SHA-256 hex digest of an array's canonical (C-order) raw bytes."""
+    return hashlib.sha256(np.asarray(value).tobytes()).hexdigest()
+
+
+def _metadata_with_checksums(metadata: Dict, arrays: Dict[str, np.ndarray]) -> Dict:
+    if CHECKSUM_KEY in metadata:
+        raise ValueError(f"metadata key {CHECKSUM_KEY!r} is reserved for checksums")
+    out = dict(metadata)
+    out[CHECKSUM_KEY] = {name: _array_checksum(value) for name, value in arrays.items()}
+    return out
+
+
+def clean_stale_archives(directory: str) -> List[str]:
+    """Remove ``*.tmp-*`` staging leftovers a crashed writer abandoned.
+
+    Returns the paths removed.  Safe to call on any directory (missing ones
+    are a no-op); experiment/artifact loaders call this on startup so a
+    crash during a previous export can never leave half-written archives
+    around to be confused with real ones.
+    """
+    removed: List[str] = []
+    if not os.path.isdir(directory):
+        return removed
+    for entry in sorted(os.listdir(directory)):
+        if _STAGING_TOKEN not in entry:
+            continue
+        full = os.path.join(directory, entry)
+        if os.path.isdir(full):
+            shutil.rmtree(full, ignore_errors=True)
+        else:
+            try:
+                os.remove(full)
+            except OSError:
+                continue
+        removed.append(full)
+    return removed
+
+
+def _clean_own_staging(path: str) -> None:
+    """Drop stale staging siblings of ``path`` from earlier crashed writes."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + _STAGING_TOKEN
+    if not os.path.isdir(directory):
+        return
+    for entry in os.listdir(directory):
+        if not entry.startswith(prefix):
+            continue
+        full = os.path.join(directory, entry)
+        if os.path.isdir(full):
+            shutil.rmtree(full, ignore_errors=True)
+        else:
+            try:
+                os.remove(full)
+            except OSError:
+                pass
+
+
 def write_archive(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) -> str:
-    """Write ``arrays`` plus a JSON ``metadata`` header to ``path`` (.npz)."""
+    """Write ``arrays`` plus a JSON ``metadata`` header to ``path`` (.npz).
+
+    The write is staged through a ``*.tmp-<pid>`` sibling and atomically
+    renamed into place, and the header gains a SHA-256 digest per array
+    (verified by :func:`read_archive_arrays`).
+    """
     if not path.endswith(".npz"):
         path = path + ".npz"
     directory = os.path.dirname(os.path.abspath(path))
@@ -56,9 +141,15 @@ def write_archive(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) -> s
         raise ValueError(f"array name {_METADATA_KEY!r} is reserved for the header")
     payload = dict(arrays)
     payload[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        json.dumps(_metadata_with_checksums(metadata, arrays)).encode("utf-8"),
+        dtype=np.uint8,
     )
-    np.savez_compressed(path, **payload)
+    _clean_own_staging(path)
+    # np.savez appends ".npz" to names that lack it, so the staging name
+    # keeps the suffix: foo.npz -> foo.npz.tmp-<pid>.npz
+    staging = f"{path}{_STAGING_TOKEN}{os.getpid()}.npz"
+    np.savez_compressed(staging, **payload)
+    os.replace(staging, path)
     return path
 
 
@@ -69,35 +160,34 @@ def write_archive_dir(path: str, arrays: Dict[str, np.ndarray], metadata: Dict) 
     ``.npz`` cannot be memory-mapped.  Array names map directly to
     filenames, so they must not contain path separators.
 
-    Overwriting an existing archive is staged: the new generation is fully
-    written to a temporary sibling directory and swapped in, so readers
-    never see a silent mix of old and new arrays — an interrupted rewrite
-    leaves either the old archive or (in a narrow window) no archive, both
-    of which fail loudly rather than serving mixed-generation data.
+    Every write is staged: the new generation is fully written to a
+    ``*.tmp-<pid>`` sibling directory and renamed into place, so readers
+    never see a half-written or mixed-generation archive.  A fresh write is
+    fully atomic (the rename publishes a complete directory); an overwrite
+    has a narrow no-archive window between removing the old generation and
+    the rename, which fails loudly rather than serving mixed data.  The
+    metadata header gains a SHA-256 digest per array (verified by
+    :func:`read_archive_arrays`).
     """
     for name in arrays:
         if os.sep in name or (os.altsep and os.altsep in name) or name == _DIR_METADATA_FILENAME:
             raise ValueError(f"array name {name!r} cannot be used as an archive filename")
 
+    full_metadata = _metadata_with_checksums(metadata, arrays)
+
     def _fill(target: str) -> None:
         os.makedirs(target, exist_ok=True)
         with open(os.path.join(target, _DIR_METADATA_FILENAME), "w") as handle:
-            json.dump(metadata, handle, indent=2, sort_keys=True)
+            json.dump(full_metadata, handle, indent=2, sort_keys=True)
             handle.write("\n")
         for name, value in arrays.items():
             np.save(os.path.join(target, name + _NPY_SUFFIX), np.asarray(value))
 
-    if not os.path.isdir(path):
-        _fill(path)
-        return path
-
-    import shutil
-
-    staging = f"{path}.tmp-{os.getpid()}"
-    if os.path.isdir(staging):
-        shutil.rmtree(staging)
+    _clean_own_staging(path)
+    staging = f"{path}{_STAGING_TOKEN}{os.getpid()}"
     _fill(staging)
-    shutil.rmtree(path)
+    if os.path.isdir(path):
+        shutil.rmtree(path)
     os.rename(staging, path)
     return path
 
@@ -117,14 +207,25 @@ def read_archive_metadata(path: str) -> Dict:
     return json.loads(raw)
 
 
-def read_archive_arrays(path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
+def read_archive_arrays(
+    path: str, mmap: bool = False, verify: Optional[bool] = None
+) -> Dict[str, np.ndarray]:
     """Read every stored array (header excluded) from either container format.
 
     ``mmap=True`` memory-maps the arrays of a directory archive (read-only
     views backed by the OS page cache).  Compressed ``.npz`` archives cannot
     be mapped; the flag is silently ignored for them and the arrays are read
     into memory as before.
+
+    ``verify`` controls SHA-256 checksum verification against the metadata
+    header: the default (``None``) verifies except for ``mmap`` loads —
+    hashing a mapped array would page the whole file in, defeating the
+    point of mapping — and can be forced either way.  A mismatch raises
+    :class:`ArchiveCorrupted`; archives written without checksums are never
+    verified.
     """
+    if verify is None:
+        verify = not mmap
     if os.path.isdir(path):
         arrays: Dict[str, np.ndarray] = {}
         for entry in sorted(os.listdir(path)):
@@ -133,9 +234,31 @@ def read_archive_arrays(path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
             arrays[entry[: -len(_NPY_SUFFIX)]] = np.load(
                 os.path.join(path, entry), mmap_mode="r" if mmap else None
             )
-        return arrays
-    with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+    else:
+        with np.load(path) as archive:
+            arrays = {
+                name: archive[name] for name in archive.files if name != _METADATA_KEY
+            }
+    if verify:
+        _verify_checksums(path, arrays)
+    return arrays
+
+
+def _verify_checksums(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    checksums = read_archive_metadata(path).get(CHECKSUM_KEY)
+    if not checksums:
+        return  # pre-checksum archive: nothing to verify against
+    for name, array in arrays.items():
+        expected = checksums.get(name)
+        if expected is None:
+            continue  # array added outside the writer; covered elsewhere
+        actual = _array_checksum(array)
+        if actual != expected:
+            raise ArchiveCorrupted(
+                f"array {name!r} in archive {path!r} failed checksum verification "
+                f"(stored {expected[:12]}..., loaded {actual[:12]}...); the archive "
+                "is corrupt or was modified outside the writer"
+            )
 
 
 def archive_kind(metadata: Dict) -> str:

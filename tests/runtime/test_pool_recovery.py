@@ -1,0 +1,86 @@
+"""Process-pool crash recovery: detect dead workers, retry, fail loudly.
+
+Before the supervised dispatch path, a worker dying mid-map hung
+``multiprocessing.Pool.map`` forever (the pool respawns the worker but the
+in-flight task is silently lost).  These tests pin the recovery contract:
+results identical to serial, bounded retries, typed give-up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import POOL_WORKER_CRASH, FaultPlan, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.pool import WorkerCrashed, WorkerPool
+
+
+def _cube_sum(chunk):
+    return float(np.sum(np.asarray(chunk, dtype=np.float64) ** 3))
+
+
+CHUNKS = [list(range(i, i + 5)) for i in range(0, 40, 5)]
+EXPECTED = [_cube_sum(chunk) for chunk in CHUNKS]
+
+
+class TestCrashRecovery:
+    def test_single_crash_is_recovered_bit_identically(self):
+        plan = FaultPlan([FaultSpec(POOL_WORKER_CRASH, times=(3,))])
+        pool = WorkerPool(workers=2, mode="process", fault_plan=plan)
+        with pool:
+            got = pool.map(_cube_sum, CHUNKS)
+        assert got == EXPECTED
+        assert pool.worker_deaths >= 1
+        assert pool.chunk_retries >= 1
+
+    def test_multiple_crashes_in_one_map(self):
+        plan = FaultPlan([FaultSpec(POOL_WORKER_CRASH, times=(1, 5))])
+        pool = WorkerPool(workers=2, mode="process", fault_plan=plan)
+        with pool:
+            got = pool.map(_cube_sum, CHUNKS)
+        assert got == EXPECTED
+        assert pool.worker_deaths >= 2
+
+    def test_crash_storm_raises_worker_crashed_not_hang(self):
+        storm = FaultPlan([FaultSpec(POOL_WORKER_CRASH, probability=1.0)])
+        pool = WorkerPool(workers=2, mode="process", fault_plan=storm,
+                          max_chunk_retries=1)
+        with pool:
+            with pytest.raises(WorkerCrashed, match="max_chunk_retries=1"):
+                pool.map(_cube_sum, CHUNKS[:3])
+
+    def test_pool_survives_map_after_recovery(self):
+        plan = FaultPlan([FaultSpec(POOL_WORKER_CRASH, times=(0,))])
+        pool = WorkerPool(workers=2, mode="process", fault_plan=plan)
+        with pool:
+            first = pool.map(_cube_sum, CHUNKS)
+            second = pool.map(_cube_sum, CHUNKS)  # plan exhausted: clean run
+        assert first == EXPECTED and second == EXPECTED
+
+    def test_counters_reach_registry(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan([FaultSpec(POOL_WORKER_CRASH, times=(2,))])
+        pool = WorkerPool(workers=2, mode="process", fault_plan=plan,
+                          registry=registry)
+        with pool:
+            pool.map(_cube_sum, CHUNKS)
+        assert registry.counter(
+            "pool_worker_deaths_total", "Process-pool workers that died mid-map."
+        ).value() >= 1
+        assert registry.counter(
+            "pool_chunk_retries_total", "Lost chunks resubmitted after a worker death."
+        ).value() >= 1
+
+
+class TestNonProcessModes:
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_fault_plan_is_inert_outside_process_mode(self, mode):
+        # Worker crashes model a process dying; serial/thread pools cannot
+        # lose a chunk that way, so the plan must not disturb results.
+        plan = FaultPlan([FaultSpec(POOL_WORKER_CRASH, probability=1.0)])
+        pool = WorkerPool(workers=2, mode=mode, fault_plan=plan)
+        with pool:
+            assert pool.map(_cube_sum, CHUNKS) == EXPECTED
+
+    def test_retry_bound_validation(self):
+        with pytest.raises(ValueError, match="max_chunk_retries"):
+            WorkerPool(workers=2, mode="process", max_chunk_retries=-1)

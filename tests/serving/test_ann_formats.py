@@ -145,3 +145,37 @@ class TestMemoryReports:
             assert report["bytes_total"] > 0
             assert report["bytes_per_item"] > 0
             assert report["tiers"]["hot"] + report["tiers"]["cold"] >= 0
+
+
+class TestCorruptionDetection:
+    """Satellite to the checksum work: a flipped payload byte in a saved
+    archive of *any* ANN kind must surface as a typed
+    :class:`ArchiveCorrupted` on load, never as silently-wrong search
+    results."""
+
+    BUILDERS = {
+        "quantized": (lambda index: QuantizedIndex.build(index), QuantizedIndex),
+        "ivf": (lambda index: build_ivf(index, n_lists=10, nprobe=3, seed=0), IVFIndex),
+        "ivfpq": (
+            lambda index: build_ivf(index, n_lists=10, nprobe=3, seed=0, pq=True),
+            IVFIndex,
+        ),
+        "pq": (lambda index: build_pq(index, seed=0), PQIndex),
+    }
+
+    @pytest.mark.parametrize("kind", sorted(BUILDERS))
+    @pytest.mark.parametrize("fmt", ["npz", "dir"])
+    def test_corrupted_archive_refuses_to_load(self, setup, tmp_path, kind, fmt):
+        from repro.faults import corrupt_archive
+        from repro.train.persistence import ArchiveCorrupted
+
+        _, index = setup
+        build, cls = self.BUILDERS[kind]
+        ann = build(index)
+        if fmt == "npz":
+            path = ann.save(str(tmp_path / f"{kind}.npz"))
+        else:
+            path = ann.save(str(tmp_path / f"{kind}_dir"), format="dir")
+        victim = corrupt_archive(path, seed=1)
+        with pytest.raises(ArchiveCorrupted, match=victim):
+            cls.load(path, index)

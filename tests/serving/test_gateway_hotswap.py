@@ -115,3 +115,96 @@ def test_requests_admitted_during_swap_get_new_index(index):
         expected_new = RecommenderService(new_index, default_k=6).recommend(1).items
         np.testing.assert_array_equal(before.result(timeout=10.0).items, expected_old)
         np.testing.assert_array_equal(after.result(timeout=10.0).items, expected_new)
+
+
+class _MismatchedANN:
+    """An ANN index built for a different catalog (engine must reject it)."""
+
+    kind = "mismatched"
+
+    def __init__(self, n_items):
+        self.n_items = n_items
+
+    def search(self, *args, **kwargs):  # pragma: no cover - never reached
+        raise AssertionError("a rejected ANN index must never be searched")
+
+
+def test_failed_swap_rolls_back_completely(index):
+    """Satellite: swap_index under failure must complete or roll back.
+
+    A swap whose engine construction fails (here: an ANN index covering
+    the wrong catalog) must leave the service answering from the old
+    index, with the old cache intact — never a torn state where
+    ``service.index`` is new but the engine still scores the old catalog.
+    """
+    new_index = rebuilt_index(index)
+    service = RecommenderService(index, default_k=6, cache_capacity=32)
+    with ServingGateway(
+        service, GatewayConfig(max_queue_depth=64, max_wait_ms=2.0)
+    ) as gateway:
+        before = gateway.submit(2).result(timeout=10.0)
+        old_engine = service.engine
+        with pytest.raises(ValueError, match="rebuild the ann index"):
+            gateway.swap_index(new_index, ann=_MismatchedANN(index.n_items + 99))
+        # Rolled back: same index object, same engine, cache not evicted.
+        assert service.index is index
+        assert service.engine is old_engine
+        after = gateway.submit(2).result(timeout=10.0)
+        np.testing.assert_array_equal(after.items, before.items)
+        assert after.cached, "a failed swap must not have flushed the cache"
+
+
+def test_swap_mid_chaos_completes_or_rolls_back(index):
+    """Satellite: hot-swap racing a fault storm either lands completely
+    (every later answer matches the new index) or fails leaving the old
+    index fully in charge — no mixed answers either way."""
+    from repro.faults import SCORER_ERROR, FaultPlan, FaultSpec
+    from repro.serving import DegradedResponse, ResilienceConfig
+
+    new_index = rebuilt_index(index)
+    k = 6
+    expected_old = {
+        u: RecommenderService(index, default_k=k).recommend(u).items
+        for u in range(index.n_users)
+    }
+    expected_new = {
+        u: RecommenderService(new_index, default_k=k).recommend(u).items
+        for u in range(index.n_users)
+    }
+    plan = FaultPlan([FaultSpec(SCORER_ERROR, probability=0.2)], seed=9)
+    service = RecommenderService(
+        index, default_k=k, max_batch_size=8, cache_capacity=0,
+        resilience=ResilienceConfig(retries=1, backoff_s=0.0),
+        fault_plan=plan,
+    )
+    barrier = threading.Barrier(2)
+    failures = []
+
+    with ServingGateway(
+        service, GatewayConfig(max_queue_depth=256, max_wait_ms=1.0)
+    ) as gateway:
+        def storm():
+            barrier.wait()
+            rng = np.random.default_rng(4)
+            for _ in range(80):
+                user = int(rng.integers(0, index.n_users))
+                answer = gateway.submit(user).result(timeout=15.0)
+                if isinstance(answer, DegradedResponse):
+                    continue  # ladder answers are price-profile, not top-K
+                from_old = np.array_equal(answer.items, expected_old[user])
+                from_new = np.array_equal(answer.items, expected_new[user])
+                if not (from_old or from_new):
+                    failures.append((user, answer.items))
+
+        worker = threading.Thread(target=storm)
+        worker.start()
+        barrier.wait()
+        gateway.swap_index(new_index)
+        worker.join(timeout=60.0)
+        assert not worker.is_alive(), "chaos swap deadlocked"
+        assert not failures, failures[:3]
+        # the swap completed: steady state is wholly the new index
+        answer = gateway.submit(5).result(timeout=15.0)
+        while isinstance(answer, DegradedResponse):
+            answer = gateway.submit(5).result(timeout=15.0)
+        np.testing.assert_array_equal(answer.items, expected_new[5])

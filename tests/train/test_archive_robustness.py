@@ -1,0 +1,120 @@
+"""Archive durability: atomic publish, checksums, corruption detection.
+
+Every archive write must either publish completely or leave the previous
+contents untouched; every verified load must refuse silently-corrupted
+payloads with a typed :class:`ArchiveCorrupted`.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import corrupt_archive
+from repro.train.persistence import (
+    ArchiveCorrupted,
+    CHECKSUM_KEY,
+    clean_stale_archives,
+    read_archive_arrays,
+    read_archive_metadata,
+    write_archive,
+    write_archive_dir,
+)
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(3)
+    return {
+        "weights": rng.normal(size=(32, 8)),
+        "ids": np.arange(32, dtype=np.int64),
+        "empty": np.zeros(0),
+    }
+
+
+class TestChecksums:
+    def test_roundtrip_carries_digests(self, arrays, tmp_path):
+        path = write_archive(str(tmp_path / "a.npz"), arrays, metadata={"v": 1})
+        metadata = read_archive_metadata(path)
+        assert set(metadata[CHECKSUM_KEY]) == set(arrays)
+        loaded = read_archive_arrays(path)
+        for name, value in arrays.items():
+            np.testing.assert_array_equal(loaded[name], value)
+
+    @pytest.mark.parametrize("fmt", ["npz", "dir"])
+    def test_corruption_raises_typed_error(self, arrays, tmp_path, fmt):
+        if fmt == "npz":
+            path = write_archive(str(tmp_path / "c.npz"), arrays, metadata={})
+        else:
+            path = write_archive_dir(str(tmp_path / "c_dir"), arrays, metadata={})
+        victim = corrupt_archive(path, array="weights")
+        with pytest.raises(ArchiveCorrupted, match="weights"):
+            read_archive_arrays(path)
+        assert victim == "weights"
+
+    def test_verify_opt_out_loads_corrupted_payload(self, arrays, tmp_path):
+        path = write_archive(str(tmp_path / "d.npz"), arrays, metadata={})
+        corrupt_archive(path, array="weights")
+        loaded = read_archive_arrays(path, verify=False)
+        assert not np.array_equal(loaded["weights"], arrays["weights"])
+
+    def test_mmap_skips_verification_by_default(self, arrays, tmp_path):
+        path = write_archive_dir(str(tmp_path / "m_dir"), arrays, metadata={})
+        corrupt_archive(path, array="weights")
+        # mmap default: no eager full read, so no verification either ...
+        read_archive_arrays(path, mmap=True)
+        # ... but an explicit verify=True catches it even under mmap.
+        with pytest.raises(ArchiveCorrupted):
+            read_archive_arrays(path, mmap=True, verify=True)
+
+    def test_legacy_archive_without_checksums_loads(self, arrays, tmp_path):
+        # Simulate a pre-checksum archive: strip the digest key in place.
+        import json
+        path = write_archive_dir(str(tmp_path / "legacy"), arrays, metadata={"v": 0})
+        meta_path = os.path.join(path, "metadata.json")
+        with open(meta_path) as handle:
+            metadata = json.load(handle)
+        del metadata[CHECKSUM_KEY]
+        with open(meta_path, "w") as handle:
+            json.dump(metadata, handle)
+        loaded = read_archive_arrays(path)
+        np.testing.assert_array_equal(loaded["weights"], arrays["weights"])
+
+    def test_reserved_metadata_key_rejected(self, arrays, tmp_path):
+        with pytest.raises(ValueError, match=CHECKSUM_KEY):
+            write_archive(
+                str(tmp_path / "r.npz"), arrays, metadata={CHECKSUM_KEY: "stolen"}
+            )
+
+
+class TestAtomicPublish:
+    def test_dir_overwrite_is_replace_not_merge(self, arrays, tmp_path):
+        path = str(tmp_path / "swap")
+        write_archive_dir(path, arrays, metadata={"gen": 1})
+        write_archive_dir(path, {"only": np.arange(4.0)}, metadata={"gen": 2})
+        loaded = read_archive_arrays(path)
+        assert set(loaded) == {"only"}
+        assert read_archive_metadata(path)["gen"] == 2
+
+    def test_no_staging_residue_after_write(self, arrays, tmp_path):
+        write_archive(str(tmp_path / "a.npz"), arrays, metadata={})
+        write_archive_dir(str(tmp_path / "a_dir"), arrays, metadata={})
+        residue = [name for name in os.listdir(tmp_path) if ".tmp-" in name]
+        assert residue == []
+
+    def test_clean_stale_archives_sweeps_both_kinds(self, arrays, tmp_path):
+        published = write_archive(str(tmp_path / "keep.npz"), arrays, metadata={})
+        stale_file = tmp_path / "dead.npz.tmp-1234.npz"
+        stale_file.write_bytes(b"partial")
+        stale_dir = tmp_path / "dead_dir.tmp-5678"
+        stale_dir.mkdir()
+        (stale_dir / "weights.npy").write_bytes(b"partial")
+        removed = clean_stale_archives(str(tmp_path))
+        assert len(removed) == 2
+        assert not stale_file.exists() and not stale_dir.exists()
+        # the published archive is untouched
+        loaded = read_archive_arrays(published)
+        np.testing.assert_array_equal(loaded["weights"], arrays["weights"])
+
+    def test_clean_missing_directory_is_quiet(self, tmp_path):
+        assert clean_stale_archives(str(tmp_path / "nope")) == []
