@@ -1,0 +1,310 @@
+"""Lifecycle benchmark: delta index builds vs full IVF rebuilds.
+
+The lifecycle's value proposition is that absorbing a day of catalog
+churn (new users, new items, re-prices) does NOT cost a full ANN rebuild:
+:func:`repro.lifecycle.delta.delta_build` assigns only the new items to
+the frozen centroids and splices them into the existing lists.  This
+benchmark quantifies that claim and gates it:
+
+* a clustered PUP-shaped catalog (same geometry as ``bench_ann``, plus
+  raw prices so fold-in can re-quantize) is built once and its full
+  ``build_ivf`` time measured **in-run**;
+* >= 3 consecutive delta rounds then each fold a simulated event stream
+  into the index and extend the ANN layout, timing fold-in and delta
+  separately;
+* gates (checked before committing ``BENCH_lifecycle.json``, re-checked
+  by ``--smoke`` in CI):
+
+  - every round's recall@50 vs exact rankings, at the index's default
+    operating point, holds the **0.95** floor — staleness from appended
+    items must not silently erode retrieval quality;
+  - every round's delta-build time is below the in-run full rebuild time
+    (the whole point), and below the committed full-catalog
+    ``ivf.build_seconds`` in ``BENCH_ann.json`` when that file exists;
+  - ``--smoke`` additionally fails when the delta/full time ratio
+    regresses to more than ``RATIO_TOLERANCE`` x the committed smoke
+    ratio (a ratio of two in-run measurements, so runner speed cancels).
+
+Usage::
+
+    python benchmarks/bench_lifecycle.py           # full protocol,
+                                                   # rewrites BENCH_lifecycle.json
+    python benchmarks/bench_lifecycle.py --smoke   # quick CI check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.base import ScoreBranch
+from repro.eval.ann import ann_recall_at_k, exact_rankings
+from repro.lifecycle import DeltaConfig, delta_build, fold_in, simulate_events
+from repro.serving.ann.ivf import build_ivf
+from repro.serving.index import EmbeddingIndex
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_lifecycle.json")
+ANN_BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_ann.json")
+
+K = 50
+RECALL_FLOOR = 0.95
+#: smoke gate: delta/full ratio may not exceed committed * tolerance
+#: (delta builds are milliseconds, so the ratio is noisy — be generous)
+RATIO_TOLERANCE = 3.0
+
+FULL_PROTOCOL = {
+    "n_users": 2000, "n_items": 24_000, "evaluated_users": 256,
+    "rounds": 3, "events_per_round": 600,
+}
+#: the smoke catalog is small enough that ``build_ivf``'s default nprobe
+#: under-probes for k=50; pin the operating point the recall gate runs at
+SMOKE_PROTOCOL = {
+    "n_users": 500, "n_items": 6_000, "evaluated_users": 128,
+    "rounds": 2, "events_per_round": 300, "nprobe": 20,
+}
+
+
+def clustered_index(n_users: int, n_items: int, dim: int = 56, side_dim: int = 8,
+                    n_clusters: int = 64, seed: int = 0) -> EmbeddingIndex:
+    """``bench_ann``'s clustered two-branch catalog, plus price structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_clusters, dim))
+    item_main = (
+        centers[rng.integers(n_clusters, size=n_items)]
+        + 0.35 * rng.normal(size=(n_items, dim))
+    ).astype(np.float32)
+    user_main = (
+        centers[rng.integers(n_clusters, size=n_users)]
+        + 0.5 * rng.normal(size=(n_users, dim))
+    ).astype(np.float32)
+    item_side = (0.3 * rng.normal(size=(n_items, side_dim))).astype(np.float32)
+    user_side = (0.3 * rng.normal(size=(n_users, side_dim))).astype(np.float32)
+    item_const = (0.1 * rng.normal(size=n_items)).astype(np.float32)
+    branches = [
+        ScoreBranch(user=user_main, item=item_main),
+        ScoreBranch(user=user_side, item=item_side, item_const=item_const),
+    ]
+    counts = rng.integers(3, 15, size=n_users)
+    indptr = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate(
+        [np.sort(rng.choice(n_items, count, replace=False)) for count in counts]
+    )
+    raw_prices = np.round(1.0 + 59.0 * rng.random(n_items), 4)
+    n_levels = 5
+    edges = np.quantile(raw_prices, np.linspace(0, 1, n_levels + 1)[1:-1])
+    levels = np.searchsorted(edges, raw_prices)
+    return EmbeddingIndex(
+        branches,
+        item_categories=np.zeros(n_items, dtype=np.int64),
+        item_price_levels=levels.astype(np.int64),
+        n_price_levels=n_levels,
+        n_categories=1,
+        exclude_indptr=indptr,
+        exclude_indices=indices,
+        item_popularity=np.ones(n_items),
+        item_raw_prices=raw_prices,
+        model_name="bench_lifecycle_clustered",
+    )
+
+
+def measure_recall(index: EmbeddingIndex, ann, eval_users: int, nprobe=None) -> float:
+    users = np.arange(eval_users)
+    exact = exact_rankings(index, users, K)
+    ids, _ = ann.search(
+        users, K, nprobe=nprobe,
+        exclude_csr=(index.exclude_indptr, index.exclude_indices),
+    )
+    approx = {int(u): ids[row] for row, u in enumerate(users)}
+    return float(ann_recall_at_k(exact, approx, K))
+
+
+def run_protocol(protocol: Dict) -> Dict:
+    index = clustered_index(protocol["n_users"], protocol["n_items"], seed=0)
+    eval_users = protocol["evaluated_users"]
+
+    start = time.perf_counter()
+    ann = build_ivf(index, seed=0)
+    full_seconds = time.perf_counter() - start
+    print(
+        f"  full build_ivf: {full_seconds:8.3f} s "
+        f"({ann.n_lists} lists, default nprobe {ann.nprobe})"
+    )
+
+    rounds: List[Dict] = []
+    appended, seq = 0, 0
+    for round_id in range(protocol["rounds"]):
+        events = simulate_events(
+            index.n_users, index.n_items, protocol["events_per_round"],
+            seed=100 + round_id, start_seq=seq,
+        )
+        seq += len(events)
+
+        start = time.perf_counter()
+        index, fold_stats = fold_in(index, events)
+        fold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ann, delta_stats = delta_build(
+            ann, index, DeltaConfig(appended_since_recluster=appended)
+        )
+        delta_seconds = time.perf_counter() - start
+        appended = delta_stats.appended_since_recluster
+
+        recall = measure_recall(index, ann, eval_users, nprobe=protocol.get("nprobe"))
+        rounds.append({
+            "round": round_id,
+            "events": len(events),
+            "new_users": fold_stats.new_users,
+            "new_items": fold_stats.new_items,
+            "reprices": fold_stats.reprices,
+            "fold_in_seconds": fold_seconds,
+            "delta_build_seconds": delta_seconds,
+            "speedup_vs_full_rebuild": full_seconds / max(delta_seconds, 1e-9),
+            "staleness": delta_stats.staleness,
+            "reclustered": delta_stats.reclustered,
+            "recall_at_50": recall,
+        })
+        print(
+            f"  round {round_id}: +{fold_stats.new_items} items"
+            f" +{fold_stats.new_users} users, fold {fold_seconds*1e3:7.1f} ms,"
+            f" delta {delta_seconds*1e3:7.1f} ms"
+            f" ({rounds[-1]['speedup_vs_full_rebuild']:,.0f}x full rebuild),"
+            f" staleness {delta_stats.staleness:.4f},"
+            f" recall@{K}={recall:.4f}"
+        )
+    return {
+        "protocol": dict(protocol),
+        "full_build_seconds": full_seconds,
+        "n_lists": int(ann.n_lists),
+        "default_nprobe": int(ann.nprobe),
+        "final_n_items": int(index.n_items),
+        "rounds": rounds,
+        "max_delta_seconds": max(r["delta_build_seconds"] for r in rounds),
+        "min_recall_at_50": min(r["recall_at_50"] for r in rounds),
+        "delta_to_full_ratio": max(
+            r["delta_build_seconds"] for r in rounds
+        ) / full_seconds,
+    }
+
+
+def gate(report: Dict) -> bool:
+    ok = True
+    for entry in report["rounds"]:
+        if entry["recall_at_50"] < RECALL_FLOOR:
+            print(
+                f"FAIL: round {entry['round']} recall@{K} "
+                f"{entry['recall_at_50']:.4f} < {RECALL_FLOOR}",
+                file=sys.stderr,
+            )
+            ok = False
+        if entry["reclustered"]:
+            print(
+                f"FAIL: round {entry['round']} fell back to a full re-cluster "
+                "— the protocol is meant to exercise the delta path",
+                file=sys.stderr,
+            )
+            ok = False
+        if entry["delta_build_seconds"] >= report["full_build_seconds"]:
+            print(
+                f"FAIL: round {entry['round']} delta build "
+                f"{entry['delta_build_seconds']:.3f} s is not below the in-run "
+                f"full rebuild {report['full_build_seconds']:.3f} s",
+                file=sys.stderr,
+            )
+            ok = False
+    if os.path.exists(ANN_BENCH_PATH):
+        with open(ANN_BENCH_PATH) as handle:
+            committed_full = json.load(handle)["ivf"]["build_seconds"]
+        if report["max_delta_seconds"] >= committed_full:
+            print(
+                f"FAIL: max delta build {report['max_delta_seconds']:.3f} s is "
+                f"not below the committed full-catalog build "
+                f"({committed_full:.2f} s in BENCH_ann.json)",
+                file=sys.stderr,
+            )
+            ok = False
+        report["committed_ann_build_seconds"] = committed_full
+    return ok
+
+
+def cmd_full() -> int:
+    print(f"full protocol ({FULL_PROTOCOL['n_items']:,}-item clustered catalog):")
+    report = run_protocol(FULL_PROTOCOL)
+    print(f"smoke protocol ({SMOKE_PROTOCOL['n_items']:,}-item clustered catalog):")
+    smoke = run_protocol(SMOKE_PROTOCOL)
+    if not gate(report) or not gate(smoke):
+        print("not committing numbers", file=sys.stderr)
+        return 1
+    payload = {
+        "benchmark": "lifecycle_delta_builds",
+        **report,
+        "gates": {
+            "recall_floor": RECALL_FLOOR,
+            "delta_below_full_rebuild": True,
+            "ratio_tolerance": RATIO_TOLERANCE,
+        },
+        "smoke_reference": smoke,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\ndelta absorbs {report['rounds'][-1]['events']} events in "
+        f"{report['max_delta_seconds']*1e3:.1f} ms max vs "
+        f"{report['full_build_seconds']:.2f} s full rebuild "
+        f"({report['full_build_seconds']/report['max_delta_seconds']:,.0f}x) "
+        f"at recall@{K} >= {report['min_recall_at_50']:.4f}"
+    )
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+def cmd_smoke() -> int:
+    if not os.path.exists(BENCH_PATH):
+        print(
+            f"missing committed baseline {BENCH_PATH}; run without --smoke first",
+            file=sys.stderr,
+        )
+        return 2
+    with open(BENCH_PATH) as handle:
+        committed = json.load(handle)
+    reference = committed["smoke_reference"]
+    protocol = reference["protocol"]
+    print(f"smoke protocol ({protocol['n_items']:,}-item clustered catalog):")
+    report = run_protocol(protocol)
+    ok = gate(report)
+    ceiling = reference["delta_to_full_ratio"] * RATIO_TOLERANCE
+    if report["delta_to_full_ratio"] > ceiling:
+        print(
+            f"FAIL: delta/full ratio {report['delta_to_full_ratio']:.5f} exceeds "
+            f"{RATIO_TOLERANCE}x the committed {reference['delta_to_full_ratio']:.5f}",
+            file=sys.stderr,
+        )
+        ok = False
+    print(
+        f"\ndelta/full ratio {report['delta_to_full_ratio']:.5f} "
+        f"(committed {reference['delta_to_full_ratio']:.5f}, ceiling {ceiling:.5f}), "
+        f"min recall@{K}={report['min_recall_at_50']:.4f} (floor {RECALL_FLOOR})"
+    )
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI check against the committed baseline")
+    args = parser.parse_args()
+    return cmd_smoke() if args.smoke else cmd_full()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""CI gate for the crash-safe catalog lifecycle: the SIGKILL drill.
+
+For each lifecycle fault point (``lifecycle.ingest_crash``,
+``lifecycle.build_crash``, ``lifecycle.promote_crash``) this script:
+
+1. runs the full pipeline (bootstrap -> ingest -> build -> promote) in a
+   **child process** with a ``hard_kill`` fault plan — the child dies with
+   ``os._exit(137)`` at the injected point, exactly like a SIGKILL, with
+   no chance to flush buffers or run cleanup;
+2. asserts the wreckage is safe: whatever ``CURRENT`` points at still
+   loads completely (the served index is always whole; a torn candidate
+   is never visible);
+3. restarts in-process — construction runs ``VersionStore.recover()`` —
+   re-drives the *same* deterministic event stream, rebuilds, and
+   promotes;
+4. asserts convergence: the recovered journal is **bit-identical**
+   (``journal_digest``) to an uncrashed reference run's, and the final
+   promoted version serves the same catalog size.
+
+Both parent and child rebuild the same tiny trained index from a fixed
+seed, so the drill needs no artifact directory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/lifecycle_smoke.py
+    PYTHONPATH=src python benchmarks/lifecycle_smoke.py --child <point> <root>
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.faults import (
+    LIFECYCLE_BUILD_CRASH,
+    LIFECYCLE_INGEST_CRASH,
+    LIFECYCLE_PROMOTE_CRASH,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.lifecycle import (
+    GateConfig,
+    LifecycleConfig,
+    LifecycleController,
+    journal_digest,
+    simulate_events,
+)
+from repro.serving import build_ivf, export_index
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: occurrence index at which each point's hard kill fires (ingest dies
+#: mid-stream; build and promote die at their first consultation)
+KILL_TIMES = {
+    LIFECYCLE_INGEST_CRASH: 30,
+    LIFECYCLE_BUILD_CRASH: 0,
+    LIFECYCLE_PROMOTE_CRASH: 0,
+}
+EVENT_COUNT = 120
+EVENT_SEED = 7
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def base_artifacts():
+    """The deterministic seed index + ANN both parent and child rebuild."""
+    dataset = generate(
+        SyntheticConfig(n_users=70, n_items=260, n_categories=4, seed=3)
+    )[0]
+    model = pup_full(
+        dataset, global_dim=12, category_dim=6, rng=np.random.default_rng(0)
+    )
+    model.eval()
+    index = export_index(model, dataset)
+    # nprobe 7 of 8 lists: the operating point where recall@50 clears the
+    # promotion floor on this tiny catalog.
+    return index, build_ivf(index, nprobe=7, seed=0)
+
+
+def lifecycle_config() -> LifecycleConfig:
+    return LifecycleConfig(
+        gates=GateConfig(nprobe=7, recall_users=32, parity_users=8),
+        segment_records=32,
+    )
+
+
+def event_stream(index):
+    return simulate_events(
+        index.n_users, index.n_items, EVENT_COUNT, seed=EVENT_SEED,
+        n_categories=index.n_categories,
+    )
+
+
+def run_pipeline(root: str, fault_plan=None) -> None:
+    """Bootstrap (first run only) -> ingest -> build -> promote."""
+    index, ann = base_artifacts()
+    controller = LifecycleController(
+        root, config=lifecycle_config(), fault_plan=fault_plan
+    )
+    if controller.store.current() is None:
+        controller.bootstrap(index, ann)
+    controller.ingest(event_stream(index))
+    candidate = controller.build()
+    if candidate is not None:
+        promoted, report = controller.promote(candidate)
+        check(promoted == candidate, f"gates rejected: {report.failures}")
+
+
+def run_child(point: str, root: str) -> None:
+    plan = FaultPlan(
+        [FaultSpec(point, times=(KILL_TIMES[point],), hard_kill=True)]
+    )
+    run_pipeline(root, fault_plan=plan)
+    # The kill should have fired during the pipeline; reaching here means
+    # the fault point was never consulted.
+    print(f"fault point {point} never fired", file=sys.stderr)
+    sys.exit(3)
+
+
+def drill(point: str, reference_digest: str, reference_items: int) -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = os.path.join(tmp, "store")
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child", point, root],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        )
+        check(
+            child.returncode == 137,
+            f"{point}: child exited {child.returncode}, wanted 137 (hard kill)\n"
+            f"{child.stdout}{child.stderr}",
+        )
+
+        # The wreckage must be safe before any recovery runs: whatever
+        # CURRENT names is a complete, loadable version.
+        from repro.lifecycle import VersionStore
+
+        store = VersionStore(root)
+        live = store.current()
+        if point == LIFECYCLE_INGEST_CRASH:
+            check(live == "v000001", f"{point}: live moved to {live} mid-ingest")
+        else:
+            check(live is not None, f"{point}: no live version after crash")
+        index, ann = store.load_version(live)
+        check(
+            index.n_items == ann.n_items,
+            f"{point}: served version is not whole ({index.n_items} vs {ann.n_items})",
+        )
+        if point == LIFECYCLE_BUILD_CRASH:
+            torn = [
+                name for name in os.listdir(store.versions_dir)
+                if not os.path.exists(
+                    os.path.join(store.versions_dir, name, "manifest.json")
+                )
+            ]
+            check(torn == ["v000002"], f"{point}: expected a torn dir, got {torn}")
+
+        # Restart and re-drive the identical stream: recovery + exactly-
+        # once ingest must converge with the uncrashed reference.
+        run_pipeline(root)
+        controller = LifecycleController(root, config=lifecycle_config())
+        digest = journal_digest(controller.store.journal_dir)
+        check(
+            digest == reference_digest,
+            f"{point}: recovered journal digest {digest[:12]}... != "
+            f"reference {reference_digest[:12]}...",
+        )
+        final_index, final_ann = controller.store.load_version(
+            controller.store.current()
+        )
+        check(
+            final_index.n_items == reference_items
+            and final_ann.n_items == reference_items,
+            f"{point}: recovered catalog {final_index.n_items} items, "
+            f"reference has {reference_items}",
+        )
+        check(
+            controller.journal_lag() == 0,
+            f"{point}: journal lag {controller.journal_lag()} after recovery",
+        )
+    print(f"PASS: {point} (kill -> whole serving state -> bit-identical recovery)")
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--child":
+        run_child(sys.argv[2], sys.argv[3])
+        return 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        reference_root = os.path.join(tmp, "reference")
+        run_pipeline(reference_root)
+        controller = LifecycleController(reference_root, config=lifecycle_config())
+        reference_digest = journal_digest(controller.store.journal_dir)
+        live_index, _ = controller.store.load_version(controller.store.current())
+        reference_items = live_index.n_items
+        print(
+            f"reference run: {EVENT_COUNT} events, catalog {reference_items} "
+            f"items, journal digest {reference_digest[:12]}..."
+        )
+
+        for point in (
+            LIFECYCLE_INGEST_CRASH,
+            LIFECYCLE_BUILD_CRASH,
+            LIFECYCLE_PROMOTE_CRASH,
+        ):
+            drill(point, reference_digest, reference_items)
+    print("lifecycle smoke: all drills passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

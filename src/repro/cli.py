@@ -589,6 +589,17 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     """
     import json as _json
 
+    if args.list_fault_points:
+        from .faults import describe_fault_points
+
+        for point, description in describe_fault_points().items():
+            print(f"{point:28s} {description}")
+        return 0
+    if args.artifacts is None:
+        print("artifacts directory is required (or use --list-fault-points)",
+              file=sys.stderr)
+        return 2
+
     experiment = Experiment.load(args.artifacts)
     from .loadgen import (
         ArrivalSchedule,
@@ -700,6 +711,120 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             server.stop()
         gateway.close()
     return exit_code
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Drive the streaming catalog lifecycle against a version store.
+
+    ``init`` bootstraps the store from a trained artifact dir; ``ingest``
+    journals events (``--simulate`` synthesizes a deterministic stream,
+    ``--events`` reads JSONL); ``build`` folds the journal into a
+    candidate version; ``promote`` gates and flips; ``rollback`` returns
+    to the live version's parent; ``status`` prints the store state.
+    Exit code 1 when a promotion is rejected by the gates.
+    """
+    import json as _json
+
+    from .lifecycle import (
+        Event,
+        GateConfig,
+        LifecycleConfig,
+        LifecycleController,
+        simulate_events,
+    )
+
+    gates = GateConfig(
+        recall_k=args.recall_k,
+        recall_floor=args.recall_floor,
+        nprobe=args.gate_nprobe,
+        seed=args.seed,
+    )
+    controller = LifecycleController(
+        args.store,
+        config=LifecycleConfig(
+            gates=gates, staleness_threshold=args.staleness_threshold
+        ),
+    )
+    if controller.recovery["swept"] or controller.recovery["restamped"]:
+        print(f"recovery: {controller.recovery}")
+
+    if args.lifecycle_command == "init":
+        experiment = Experiment.load(args.artifacts)
+        ann = experiment.ann_index(
+            n_lists=args.ann_lists, nprobe=args.ann_nprobe
+        )
+        name = controller.bootstrap(experiment.index, ann)
+        print(f"bootstrapped {name} (live)")
+        return 0
+
+    if args.lifecycle_command == "ingest":
+        if args.simulate is not None:
+            live = controller.store.current()
+            if live is None:
+                print("store has no live version; run `lifecycle init` first",
+                      file=sys.stderr)
+                return 1
+            manifest = controller.store.read_manifest(live)
+            from .lifecycle.journal import last_seq as _last_seq
+
+            events = simulate_events(
+                n_users=int(manifest["n_users"]),
+                n_items=int(manifest["n_items"]),
+                count=args.simulate,
+                seed=args.seed,
+                start_seq=_last_seq(controller.store.journal_dir) + 1,
+            )
+        else:
+            with open(args.events, "r", encoding="utf-8") as fh:
+                events = [
+                    Event(**_json.loads(line))
+                    for line in fh
+                    if line.strip()
+                ]
+        stats = controller.ingest(events)
+        print(
+            f"ingested {stats['appended']} events "
+            f"({stats['skipped']} duplicates skipped), "
+            f"journal at seq {stats['last_seq']}"
+        )
+        return 0
+
+    if args.lifecycle_command == "build":
+        name = controller.build()
+        if name is None:
+            print("journal holds nothing past the live version; no candidate built")
+            return 0
+        manifest = controller.store.read_manifest(name)
+        fold = manifest["fold"]
+        print(
+            f"candidate {name}: +{fold['new_users']} users, "
+            f"+{fold['new_items']} items, {fold['interactions']} interactions, "
+            f"{fold['reprices']} reprices; "
+            f"{'re-clustered' if manifest['reclustered'] else 'delta build'} "
+            f"(staleness {manifest.get('staleness', 0):.3f})"
+        )
+        return 0
+
+    if args.lifecycle_command == "promote":
+        name, report = controller.promote(candidate=args.candidate)
+        for gate, result in report.gates.items():
+            print(f"gate {gate}: {result}")
+        if name is None:
+            for failure in report.failures:
+                print(f"promotion REJECTED: {failure}", file=sys.stderr)
+            return 1
+        print(f"promoted {name} (live)")
+        return 0
+
+    if args.lifecycle_command == "rollback":
+        name = controller.rollback(reason=args.reason)
+        print(f"rolled back; {name} is live")
+        return 0
+
+    # status
+    payload = controller.status()
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -939,7 +1064,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive synthetic load through the gateway; --chaos injects "
         "deterministic faults and audits the accounting",
     )
-    loadtest.add_argument("artifacts", help="artifact directory written by `train`")
+    loadtest.add_argument(
+        "artifacts", nargs="?", default=None,
+        help="artifact directory written by `train`",
+    )
+    loadtest.add_argument(
+        "--list-fault-points", action="store_true",
+        help="print every named fault-injection point (the registry all "
+        "chaos plans and docs draw from) and exit",
+    )
     loadtest.add_argument("--k", type=int, default=10)
     loadtest.add_argument(
         "--requests", type=int, default=500, metavar="N",
@@ -1020,6 +1153,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_flags(loadtest)
     loadtest.set_defaults(func=cmd_loadtest)
+
+    lifecycle = commands.add_parser(
+        "lifecycle",
+        help="crash-safe streaming catalog lifecycle: journaled ingest, "
+        "delta builds, health-gated versioned rollout",
+    )
+    lc_commands = lifecycle.add_subparsers(dest="lifecycle_command", required=True)
+
+    def _lc_parser(name: str, help: str) -> argparse.ArgumentParser:
+        sub = lc_commands.add_parser(name, help=help)
+        sub.add_argument("store", help="version-store root directory")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--recall-floor", type=float, default=0.95,
+            help="promotion gate: minimum recall@k vs exact (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--recall-k", type=int, default=50,
+            help="promotion gate recall depth (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--gate-nprobe", type=int, default=None,
+            help="operating point for the recall gate (default: the "
+            "candidate's own nprobe)",
+        )
+        sub.add_argument(
+            "--staleness-threshold", type=float, default=0.25,
+            help="append-placed catalog fraction that forces a full "
+            "re-cluster (default: %(default)s)",
+        )
+        sub.set_defaults(func=cmd_lifecycle)
+        return sub
+
+    lc_init = _lc_parser("init", "bootstrap the store from a trained artifact dir")
+    lc_init.add_argument("--artifacts", required=True,
+                         help="artifact directory written by `train`")
+    lc_init.add_argument("--ann-lists", type=int, default=None)
+    lc_init.add_argument("--ann-nprobe", type=int, default=None)
+
+    lc_ingest = _lc_parser("ingest", "journal catalog events (exactly-once)")
+    source = lc_ingest.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--simulate", type=int, metavar="N",
+        help="synthesize N deterministic events against the live catalog",
+    )
+    source.add_argument(
+        "--events", metavar="PATH",
+        help="JSONL file of events (seq/kind/user/item/price/category)",
+    )
+
+    _lc_parser("build", "fold the journal into a candidate version")
+
+    lc_promote = _lc_parser("promote", "gate a candidate; flip CURRENT on pass")
+    lc_promote.add_argument(
+        "--candidate", default=None,
+        help="candidate version name (default: newest candidate)",
+    )
+
+    lc_rollback = _lc_parser("rollback", "return to the live version's parent")
+    lc_rollback.add_argument("--reason", default="manual rollback")
+
+    _lc_parser("status", "print the store + journal state as JSON")
 
     compare = commands.add_parser("compare", help="train several models, print a table")
     compare.add_argument(

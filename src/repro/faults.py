@@ -55,13 +55,35 @@ ANN_SEARCH_ERROR = "ann.search_error"
 FLUSHER_CRASH = "gateway.flusher_crash"
 """The gateway's background flusher thread raises (supervision test)."""
 
-POINTS: Tuple[str, ...] = (
-    POOL_WORKER_CRASH,
-    SCORER_ERROR,
-    SCORER_DELAY,
-    ANN_SEARCH_ERROR,
-    FLUSHER_CRASH,
-)
+LIFECYCLE_INGEST_CRASH = "lifecycle.ingest_crash"
+"""The journal writer crashes mid-ingest (possibly leaving a torn record)."""
+
+LIFECYCLE_BUILD_CRASH = "lifecycle.build_crash"
+"""The index build crashes after writing archives, before the manifest."""
+
+LIFECYCLE_PROMOTE_CRASH = "lifecycle.promote_crash"
+"""Promotion crashes after the gates pass, before the CURRENT pointer flip."""
+
+#: One source of truth for every named injection point and what failing
+#: there means — ``repro loadtest --list-fault-points`` and the fault-point
+#: table in docs/robustness.md both render from this registry.
+FAULT_POINTS: Dict[str, str] = {
+    POOL_WORKER_CRASH: "a process-pool worker dies while holding a dispatched chunk",
+    SCORER_ERROR: "the warm scoring path raises mid-batch (poisoned scorer call)",
+    SCORER_DELAY: "the warm scoring path stalls for delay_s (slow or hung scorer)",
+    ANN_SEARCH_ERROR: "the ANN index raises from search() (exact-search fallback)",
+    FLUSHER_CRASH: "the gateway's background flusher thread raises (supervision)",
+    LIFECYCLE_INGEST_CRASH: "the journal writer crashes mid-ingest (torn final record)",
+    LIFECYCLE_BUILD_CRASH: "the lifecycle build crashes between archives and manifest",
+    LIFECYCLE_PROMOTE_CRASH: "promotion crashes after gates pass, before the CURRENT flip",
+}
+
+POINTS: Tuple[str, ...] = tuple(FAULT_POINTS)
+
+
+def describe_fault_points() -> Dict[str, str]:
+    """A copy of the fault-point registry (name -> one-line description)."""
+    return dict(FAULT_POINTS)
 
 
 class InjectedFault(RuntimeError):
@@ -80,7 +102,10 @@ class FaultSpec:
     ``times`` lists 0-based occurrence indices that fire unconditionally;
     ``probability`` adds seeded random firing on every other occurrence.
     ``max_fires`` bounds total fires (``None`` = unbounded); ``delay_s`` is
-    the stall length for delay-type points.
+    the stall length for delay-type points.  ``hard_kill`` turns a firing
+    :meth:`FaultPlan.maybe_fail` into ``os._exit(137)`` — a SIGKILL-grade
+    death with no unwind, no finally blocks, no flushes — which is what the
+    lifecycle crash drills use to prove recovery from real process loss.
     """
 
     point: str
@@ -88,6 +113,7 @@ class FaultSpec:
     probability: float = 0.0
     max_fires: Optional[int] = None
     delay_s: float = 0.0
+    hard_kill: bool = False
 
     def __post_init__(self) -> None:
         if not self.point:
@@ -163,8 +189,17 @@ class FaultPlan:
             return fire
 
     def maybe_fail(self, point: str) -> None:
-        """Raise :class:`InjectedFault` if ``point`` fires this occurrence."""
+        """Raise :class:`InjectedFault` if ``point`` fires this occurrence.
+
+        A spec with ``hard_kill=True`` does not raise: it terminates the
+        process on the spot with ``os._exit(137)`` (the SIGKILL exit code),
+        skipping every ``finally`` block and atexit hook — the honest model
+        of a machine losing the process mid-operation.
+        """
         if self.should_fire(point):
+            spec = self._specs[point]
+            if spec.hard_kill:
+                os._exit(137)
             with self._lock:
                 occurrence = self._occurrences[point] - 1
             raise InjectedFault(point, occurrence)
@@ -212,6 +247,9 @@ def chaos_plan(
     flusher_crashes: int = 1,
     scorer_delays: int = 0,
     scorer_delay_s: float = 0.02,
+    ingest_crashes: int = 0,
+    build_crashes: int = 0,
+    promote_crashes: int = 0,
     spacing: int = 7,
 ) -> FaultPlan:
     """The standard chaos mix: one of each headline failure, spread out.
@@ -219,6 +257,9 @@ def chaos_plan(
     Occurrence indices are staggered (``spacing`` apart, distinct offsets
     per point) so a short load run hits every fault without two landing on
     the same batch.  Counts of 0 drop that point from the plan entirely.
+    The lifecycle points default to 0 — they only fire inside a
+    :class:`repro.lifecycle.LifecycleController`, not on the serving path,
+    so plans driving pure load runs should not count them as pending.
     """
 
     def stagger(offset: int, count: int) -> Tuple[int, ...]:
@@ -240,6 +281,14 @@ def chaos_plan(
                 times=stagger(5, scorer_delays),
                 delay_s=scorer_delay_s,
             )
+        )
+    if ingest_crashes:
+        specs.append(FaultSpec(LIFECYCLE_INGEST_CRASH, times=stagger(0, ingest_crashes)))
+    if build_crashes:
+        specs.append(FaultSpec(LIFECYCLE_BUILD_CRASH, times=stagger(0, build_crashes)))
+    if promote_crashes:
+        specs.append(
+            FaultSpec(LIFECYCLE_PROMOTE_CRASH, times=stagger(0, promote_crashes))
         )
     return FaultPlan(specs, seed=seed)
 
@@ -292,3 +341,47 @@ def corrupt_archive(path: str, array: Optional[str] = None, seed: int = 0) -> st
     payload[target] = victim.reshape(payload[target].shape)
     np.savez_compressed(path, **payload)
     return target
+
+
+def corrupt_journal(
+    segment_path: str,
+    record: Optional[int] = None,
+    seed: int = 0,
+    truncate: bool = False,
+) -> int:
+    """Damage one record of a journal segment file, in place.
+
+    The journal-side sibling of :func:`corrupt_archive`.  Default mode
+    flips one payload byte of record ``record`` (seeded choice when not
+    given), leaving the stored CRC32 intact so a replay raises the typed
+    :class:`repro.lifecycle.journal.JournalCorrupted` naming exactly that
+    record.  ``truncate=True`` instead cuts the file partway through the
+    *final* record — the torn-tail shape a SIGKILL mid-append leaves, which
+    replay must tolerate (for an open segment) rather than error on.
+    Returns the 0-based index of the damaged record.
+    """
+    from .lifecycle.journal import RECORD_HEADER, segment_record_offsets
+
+    offsets = segment_record_offsets(segment_path)
+    if not offsets:
+        raise ValueError(f"no records to corrupt in journal segment {segment_path!r}")
+    rng = np.random.default_rng(seed)
+    if truncate:
+        index = len(offsets) - 1
+        offset, length = offsets[index]
+        # Keep the header plus a strict prefix of the payload: the torn
+        # shape of an append that died mid-write.
+        keep = offset + RECORD_HEADER.size + int(rng.integers(max(1, length)))
+        with open(segment_path, "r+b") as fh:
+            fh.truncate(keep)
+        return index
+    index = int(rng.integers(len(offsets))) if record is None else int(record)
+    if not 0 <= index < len(offsets):
+        raise ValueError(f"record {index} out of range (segment has {len(offsets)})")
+    offset, length = offsets[index]
+    with open(segment_path, "r+b") as fh:
+        fh.seek(offset + RECORD_HEADER.size + int(rng.integers(max(1, length))))
+        original = fh.read(1)[0]
+        fh.seek(-1, os.SEEK_CUR)
+        fh.write(bytes([original ^ 0xFF]))
+    return index

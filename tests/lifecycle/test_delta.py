@@ -1,0 +1,169 @@
+"""Delta IVF builds: parity, frozen codes, staleness escalation.
+
+The headline invariant: a delta-built index's full-probe exact-scorer
+search is bit-identical to exact ranking on the grown catalog — appends
+may never disturb the (ids ascending within lists) layout contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.ann import ann_recall_at_k, exact_rankings
+from repro.lifecycle.delta import (
+    DeltaConfig,
+    DeltaMismatch,
+    DeltaStats,
+    DeltaUnsupported,
+    delta_build,
+)
+from repro.lifecycle.foldin import fold_in
+from repro.lifecycle.controller import simulate_events
+from repro.serving.ann.ivf import build_ivf
+
+
+def grow(index, count, seed, start_seq=0):
+    events = simulate_events(
+        index.n_users, index.n_items, count, seed=seed, start_seq=start_seq,
+        new_item_rate=0.2, new_user_rate=0.1, n_categories=index.n_categories,
+    )
+    return fold_in(index, events)[0], events
+
+
+class TestValidation:
+    def test_pq_companion_refused(self, index):
+        ann_pq = build_ivf(index, nprobe=7, seed=0, pq=True, pq_subspace_dim=3)
+        grown, _ = grow(index, 40, seed=1)
+        with pytest.raises(DeltaUnsupported, match="PQ"):
+            delta_build(ann_pq, grown, DeltaConfig())
+
+    def test_shrunk_catalog_refused(self, index, ann):
+        grown, _ = grow(index, 40, seed=1)
+        bigger = build_ivf(grown, nprobe=7, seed=0)
+        with pytest.raises(DeltaMismatch, match="fewer"):
+            delta_build(bigger, index, DeltaConfig())
+
+    def test_mutated_frozen_rows_refused(self, index, ann):
+        grown, _ = grow(index, 40, seed=1)
+        tampered = grown.branches[0].item
+        tampered[0, 0] += 1.0
+        try:
+            with pytest.raises(DeltaMismatch, match="frozen"):
+                delta_build(ann, grown, DeltaConfig())
+        finally:
+            tampered[0, 0] -= 1.0
+
+
+class TestParityAndCodes:
+    def test_full_probe_parity_on_grown_catalog(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        new_ann, stats = delta_build(ann, grown, DeltaConfig())
+        assert stats.n_new_items > 0 and not stats.reclustered
+        users = np.arange(grown.n_users)
+        k = 10
+        exact = exact_rankings(grown, users, k)
+        ids, _ = new_ann.search(
+            users, k, nprobe=new_ann.n_lists, scorer="exact",
+            exclude_csr=(grown.exclude_indptr, grown.exclude_indices),
+        )
+        for row, user in enumerate(users):
+            assert np.array_equal(ids[row], exact[int(user)]), f"user {user}"
+
+    def test_ids_ascend_within_every_list(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        new_ann, _ = delta_build(ann, grown, DeltaConfig())
+        for lst in range(new_ann.n_lists):
+            lo, hi = new_ann.list_indptr[lst], new_ann.list_indptr[lst + 1]
+            ids = new_ann.list_items[lo:hi]
+            assert np.all(np.diff(ids) > 0), f"list {lst} not ascending"
+        assert sorted(new_ann.list_items) == list(range(grown.n_items))
+
+    def test_old_int8_codes_are_byte_identical(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        new_ann, _ = delta_build(ann, grown, DeltaConfig())
+        assert new_ann.quantized is not None
+        for old_qb, new_qb in zip(ann.quantized.quantized, new_ann.quantized.quantized):
+            assert new_qb.scale == old_qb.scale and new_qb.zero == old_qb.zero
+            assert np.array_equal(
+                new_qb.q_item[: index.n_items], old_qb.q_item
+            ), "existing items were re-encoded"
+            assert new_qb.q_item.shape[0] == grown.n_items
+
+    def test_int8_search_still_works_after_delta(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        new_ann, _ = delta_build(ann, grown, DeltaConfig())
+        ids, scores = new_ann.search(np.arange(8), 5, scorer="int8")
+        assert ids.shape == (8, 5)
+        assert (ids >= 0).all()
+
+    def test_recall_holds_across_three_consecutive_deltas(self, index, ann):
+        # The acceptance criterion, at test scale: three delta rounds, no
+        # full rebuild, recall@50 at the serving operating point >= 0.95.
+        current_index, current_ann = index, ann
+        appended, seq = 0, 0
+        for round_id in range(3):
+            grown, events = grow(current_index, 40, seed=5 + round_id, start_seq=seq)
+            seq += len(events)
+            current_ann, stats = delta_build(
+                current_ann, grown, DeltaConfig(appended_since_recluster=appended)
+            )
+            appended = stats.appended_since_recluster
+            assert not stats.reclustered
+            current_index = grown
+            users = np.arange(current_index.n_users)
+            k = 50
+            exact = exact_rankings(current_index, users, k)
+            ids, _ = current_ann.search(
+                users, k,
+                exclude_csr=(current_index.exclude_indptr,
+                             current_index.exclude_indices),
+            )
+            approx = {int(u): ids[r] for r, u in enumerate(users)}
+            recall = ann_recall_at_k(exact, approx, k)
+            assert recall >= 0.95, f"round {round_id}: recall@50 {recall:.4f}"
+
+
+class TestStaleness:
+    def test_accounting_accumulates(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        _, stats = delta_build(
+            ann, grown, DeltaConfig(appended_since_recluster=7)
+        )
+        assert stats.appended_since_recluster == 7 + stats.n_new_items
+        assert stats.staleness == pytest.approx(
+            stats.appended_since_recluster / grown.n_items
+        )
+
+    def test_threshold_triggers_recluster(self, index, ann):
+        grown, _ = grow(index, 60, seed=2)
+        new_ann, stats = delta_build(
+            ann,
+            grown,
+            DeltaConfig(staleness_threshold=0.01, appended_since_recluster=5),
+        )
+        assert stats.reclustered
+        assert stats.appended_since_recluster == 0
+        assert stats.staleness == 0.0
+        # The rebuild re-derives its layout from the grown catalog.
+        assert new_ann.n_items == grown.n_items
+        assert new_ann.quantized is not None  # companion preserved in kind
+
+    def test_no_new_items_is_a_cheap_no_op_layout(self, index, ann):
+        events = simulate_events(
+            index.n_users, index.n_items, 30, seed=4,
+            new_item_rate=0.0, new_user_rate=0.0, n_categories=index.n_categories,
+        )
+        grown = fold_in(index, events)[0]
+        new_ann, stats = delta_build(ann, grown, DeltaConfig())
+        assert stats.n_new_items == 0
+        assert np.array_equal(new_ann.list_items, ann.list_items)
+        assert np.array_equal(new_ann.list_indptr, ann.list_indptr)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_layout(self, index, ann):
+        grown, _ = grow(index, 50, seed=6)
+        a, _ = delta_build(ann, grown, DeltaConfig())
+        b, _ = delta_build(ann, grown, DeltaConfig())
+        assert np.array_equal(a.list_items, b.list_items)
+        assert np.array_equal(a.list_indptr, b.list_indptr)
+        assert np.array_equal(a.centroids, b.centroids)

@@ -1,0 +1,210 @@
+"""Least-squares fold-in: new users/items against frozen branches.
+
+Quality is asserted behaviorally (a folded user ranks its positives far
+above random; a folded item is recommended to the users who bought it)
+and structurally (frozen rows stay bit-identical, catalogs extend
+consistently, determinism holds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.ann import exact_rankings
+from repro.lifecycle.foldin import (
+    FoldInConfig,
+    FoldInError,
+    fold_in,
+    requantize_price,
+)
+from repro.lifecycle.journal import Event
+
+
+def interactions(user, items, start_seq):
+    return [
+        Event(seq=start_seq + i, kind="interaction", user=user, item=item)
+        for i, item in enumerate(items)
+    ]
+
+
+class TestValidation:
+    def test_add_user_ids_must_be_contiguous(self, index):
+        with pytest.raises(FoldInError, match="next user id"):
+            fold_in(index, [Event(seq=0, kind="add_user", user=index.n_users + 1)])
+
+    def test_add_item_ids_must_be_contiguous(self, index):
+        with pytest.raises(FoldInError, match="next item id"):
+            fold_in(index, [Event(seq=0, kind="add_item", item=0, price=1.0)])
+
+    def test_add_item_requires_price(self, index):
+        with pytest.raises(FoldInError, match="no price"):
+            fold_in(index, [Event(seq=0, kind="add_item", item=index.n_items)])
+
+    def test_interaction_with_unknown_item_rejected(self, index):
+        with pytest.raises(FoldInError, match="unknown"):
+            fold_in(
+                index,
+                [Event(seq=0, kind="interaction", user=0, item=index.n_items + 5)],
+            )
+
+    def test_reprice_of_unknown_item_rejected(self, index):
+        with pytest.raises(FoldInError, match="unknown item"):
+            fold_in(
+                index, [Event(seq=0, kind="reprice", item=index.n_items, price=2.0)]
+            )
+
+
+class TestStructure:
+    def test_input_index_is_never_mutated(self, index):
+        snapshot = [branch.user.copy() for branch in index.branches]
+        levels = index.item_price_levels.copy()
+        events = [Event(seq=0, kind="add_user", user=index.n_users)]
+        events += interactions(index.n_users, [3, 7, 11], start_seq=1)
+        events.append(Event(seq=4, kind="reprice", item=3, price=55.0))
+        fold_in(index, events)
+        for branch, before in zip(index.branches, snapshot):
+            assert np.array_equal(branch.user, before)
+        assert np.array_equal(index.item_price_levels, levels)
+
+    def test_untouched_rows_stay_bit_identical(self, index):
+        events = [Event(seq=0, kind="add_user", user=index.n_users)]
+        events += interactions(index.n_users, [3, 7, 11], start_seq=1)
+        new_index, _ = fold_in(index, events)
+        for old_b, new_b in zip(index.branches, new_index.branches):
+            # Existing users did not interact: all original rows frozen.
+            assert np.array_equal(new_b.user[: index.n_users], old_b.user)
+            assert np.array_equal(new_b.item, old_b.item)
+
+    def test_refresh_users_touches_only_interacting_users(self, index):
+        events = interactions(5, [3, 7], start_seq=0)
+        new_index, stats = fold_in(index, events)
+        assert stats.refreshed_users == 1
+        for old_b, new_b in zip(index.branches, new_index.branches):
+            mask = np.ones(index.n_users, dtype=bool)
+            mask[5] = False
+            assert np.array_equal(new_b.user[mask], old_b.user[mask])
+            assert not np.array_equal(new_b.user[5], old_b.user[5])
+
+    def test_refresh_can_be_disabled(self, index):
+        events = interactions(5, [3, 7], start_seq=0)
+        new_index, stats = fold_in(
+            index, events, FoldInConfig(refresh_users=False)
+        )
+        assert stats.refreshed_users == 0
+        for old_b, new_b in zip(index.branches, new_index.branches):
+            assert np.array_equal(new_b.user, old_b.user)
+
+    def test_exclusions_and_popularity_merge(self, index):
+        user, items = 2, [9, 4]
+        before = set(
+            index.exclude_indices[
+                index.exclude_indptr[user] : index.exclude_indptr[user + 1]
+            ]
+        )
+        new_index, _ = fold_in(index, interactions(user, items, start_seq=0))
+        after = set(
+            new_index.exclude_indices[
+                new_index.exclude_indptr[user] : new_index.exclude_indptr[user + 1]
+            ]
+        )
+        assert after == before | set(items)
+        for item in items:
+            assert new_index.item_popularity[item] == index.item_popularity[item] + 1
+
+    def test_deterministic(self, index):
+        events = [Event(seq=0, kind="add_user", user=index.n_users)]
+        events += interactions(index.n_users, [3, 7, 11, 20], start_seq=1)
+        a, _ = fold_in(index, events, FoldInConfig(seed=9))
+        b, _ = fold_in(index, events, FoldInConfig(seed=9))
+        for branch_a, branch_b in zip(a.branches, b.branches):
+            assert np.array_equal(branch_a.user, branch_b.user)
+            assert np.array_equal(branch_a.item, branch_b.item)
+
+    def test_lifecycle_extra_tracks_generation(self, index):
+        events = interactions(0, [5], start_seq=0)
+        once, stats = fold_in(index, events)
+        assert once.extra["lifecycle"]["fold_generation"] == 1
+        assert once.extra["lifecycle"]["folded_seq"] == stats.last_seq
+        twice, _ = fold_in(once, interactions(1, [6], start_seq=1))
+        assert twice.extra["lifecycle"]["fold_generation"] == 2
+
+
+class TestPricing:
+    def test_requantize_matches_nearest_existing_price(self):
+        raw = np.array([1.0, 10.0, 100.0])
+        levels = np.array([0, 1, 2])
+        assert requantize_price(2.0, raw, levels) == 0
+        assert requantize_price(9.0, raw, levels) == 1
+        assert requantize_price(500.0, raw, levels) == 2
+        assert requantize_price(0.01, raw, levels) == 0
+
+    def test_reprice_moves_item_across_bands(self, index):
+        assert index.item_raw_prices is not None
+        cheap = int(np.argmin(index.item_raw_prices))
+        expensive_price = float(index.item_raw_prices.max())
+        events = [Event(seq=0, kind="reprice", item=cheap, price=expensive_price)]
+        new_index, stats = fold_in(index, events)
+        assert stats.reprices == 1
+        assert new_index.item_raw_prices[cheap] == expensive_price
+        assert (
+            new_index.item_price_levels[cheap]
+            == index.item_price_levels[int(np.argmax(index.item_raw_prices))]
+        )
+
+    def test_new_item_gets_quantized_level_and_catalog_row(self, index):
+        price = float(np.median(index.item_raw_prices))
+        events = [
+            Event(seq=0, kind="add_item", item=index.n_items, price=price, category=2)
+        ]
+        new_index, stats = fold_in(index, events)
+        assert stats.new_items == 1
+        assert new_index.n_items == index.n_items + 1
+        assert new_index.item_categories[-1] == 2
+        assert new_index.item_raw_prices[-1] == price
+        expected = requantize_price(
+            price, index.item_raw_prices, index.item_price_levels
+        )
+        assert new_index.item_price_levels[-1] == expected
+
+
+class TestQuality:
+    def test_folded_user_ranks_positives_highly(self, index):
+        # A user who buys the exact items an existing user bought should
+        # rank those items far above the random-chance position.
+        source = 7
+        positives = index.exclude_indices[
+            index.exclude_indptr[source] : index.exclude_indptr[source + 1]
+        ][:6]
+        assert len(positives) >= 3
+        uid = index.n_users
+        events = [Event(seq=0, kind="add_user", user=uid)]
+        events += interactions(uid, [int(i) for i in positives], start_seq=1)
+        new_index, stats = fold_in(index, events)
+        assert stats.new_users == 1
+
+        # Rank WITHOUT excluding train items: the positives must surface.
+        rankings = exact_rankings(new_index, [uid], k=new_index.n_items,
+                                  exclude_train=False)
+        order = list(rankings[uid])
+        mean_rank = np.mean([order.index(int(i)) for i in positives])
+        assert mean_rank < new_index.n_items * 0.2, (
+            f"folded user ranks its positives at mean position {mean_rank:.0f} "
+            f"of {new_index.n_items} — no better than chance"
+        )
+
+    def test_folded_item_is_recommended_to_its_buyers(self, index):
+        item = index.n_items
+        buyers = [1, 4, 9, 15, 22, 30]
+        price = float(np.median(index.item_raw_prices))
+        events = [Event(seq=0, kind="add_item", item=item, price=price, category=1)]
+        events += [
+            Event(seq=1 + i, kind="interaction", user=u, item=item)
+            for i, u in enumerate(buyers)
+        ]
+        new_index, _ = fold_in(index, events)
+        rankings = exact_rankings(new_index, buyers, k=new_index.n_items,
+                                  exclude_train=False)
+        ranks = [list(rankings[u]).index(item) for u in buyers]
+        assert np.mean(ranks) < new_index.n_items * 0.25, (
+            f"folded item sits at mean rank {np.mean(ranks):.0f} for its own "
+            f"buyers (catalog {new_index.n_items})"
+        )

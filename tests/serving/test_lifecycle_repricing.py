@@ -1,0 +1,148 @@
+"""Price-band filter correctness across lifecycle hot swaps.
+
+The flash-sale scenario: items are re-priced across band boundaries, the
+lifecycle publishes and promotes a new version, and the running service
+is hot-swapped mid-stream.  Every response must be filtered by the price
+levels of the index version that *served* it — an item that left a band
+may never linger in that band's results (stale filter mask or stale LRU
+entry), and one that entered must appear.  Never a mix of versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pup_full
+from repro.data import SyntheticConfig, generate
+from repro.lifecycle import (
+    Event,
+    GateConfig,
+    LifecycleConfig,
+    LifecycleController,
+)
+from repro.lifecycle.foldin import requantize_price
+from repro.serving import build_ivf, export_index
+from repro.serving.filters import PriceBandFilter
+from repro.serving.service import RecommenderService
+
+
+@pytest.fixture(scope="module")
+def base_index():
+    dataset = generate(SyntheticConfig(n_users=70, n_items=260, n_categories=4, seed=3))[0]
+    model = pup_full(dataset, global_dim=12, category_dim=6, rng=np.random.default_rng(0))
+    model.eval()
+    return export_index(model, dataset)
+
+
+@pytest.fixture()
+def controller(tmp_path, base_index):
+    config = LifecycleConfig(
+        gates=GateConfig(nprobe=7, recall_users=32, parity_users=8),
+        segment_records=64,
+    )
+    ctl = LifecycleController(str(tmp_path / "store"), config=config)
+    ctl.bootstrap(base_index, build_ivf(base_index, nprobe=7, seed=0))
+    return ctl
+
+
+def band_items(index, level):
+    return set(np.flatnonzero(index.item_price_levels == level).tolist())
+
+
+def band_results(service, level, k, users=(0, 5, 11, 23)):
+    """Union of filtered results for a few users; asserts per-response purity."""
+    seen = set()
+    for user in users:
+        rec = service.recommend(
+            user, k=k, exclude_train=False,
+            filters=[PriceBandFilter(level, level)],
+        )
+        levels = {int(service.index.item_price_levels[i]) for i in rec.items}
+        assert levels <= {level}, (
+            f"user {user} band-{level} response mixes levels {levels}"
+        )
+        seen.update(int(i) for i in rec.items)
+    return seen
+
+
+def test_flash_sale_across_consecutive_hot_swaps(controller, base_index):
+    store = controller.store
+    index, ann = store.load_version(store.current())
+    service = RecommenderService(index, default_k=10, ann=ann, cache_capacity=64)
+
+    levels = sorted(int(v) for v in np.unique(index.item_price_levels))
+    lo, hi = levels[0], levels[-1]
+    cheapest_price = float(index.item_raw_prices.min())
+    dearest_price = float(index.item_raw_prices.max())
+
+    # Three consecutive sale waves; each re-prices one top-band item to the
+    # catalog floor and one bottom-band item to the ceiling, then promotes.
+    seq = 0
+    crossed_down, crossed_up = [], []
+    for wave in range(3):
+        serving = service.index
+        sale = sorted(band_items(serving, hi) - set(crossed_up))[wave]
+        markup = sorted(band_items(serving, lo) - set(crossed_down))[wave]
+        assert requantize_price(
+            cheapest_price, serving.item_raw_prices, serving.item_price_levels
+        ) == lo
+        assert requantize_price(
+            dearest_price, serving.item_raw_prices, serving.item_price_levels
+        ) == hi
+
+        # Pre-swap: both items are served from their current bands.
+        k_hi = len(band_items(serving, hi))
+        k_lo = len(band_items(serving, lo))
+        assert sale in band_results(service, hi, k_hi)
+        assert markup in band_results(service, lo, k_lo)
+
+        events = [
+            Event(seq=seq, kind="reprice", item=sale, price=cheapest_price),
+            Event(seq=seq + 1, kind="reprice", item=markup, price=dearest_price),
+            Event(seq=seq + 2, kind="interaction", user=3 + wave, item=sale),
+        ]
+        seq += len(events)
+        controller.ingest(events)
+        candidate = controller.build()
+        promoted, report = controller.promote(candidate, service=service)
+        assert promoted == candidate, f"wave {wave} rejected: {report.failures}"
+
+        # Post-swap: the same queries (same users, same filter signature —
+        # a stale LRU entry would satisfy them) must answer from the new
+        # version's bands.
+        now = service.index
+        assert int(now.item_price_levels[sale]) == lo
+        assert int(now.item_price_levels[markup]) == hi
+        hi_items = band_results(service, hi, len(band_items(now, hi)))
+        lo_items = band_results(service, lo, len(band_items(now, lo)))
+        assert sale not in hi_items and sale in lo_items
+        assert markup not in lo_items and markup in hi_items
+        crossed_down.append(sale)
+        crossed_up.append(markup)
+
+    # Three versions promoted on top of the bootstrap, all swaps observed.
+    assert store.current() == "v000004"
+    assert len(crossed_down) == len(crossed_up) == 3
+
+
+def test_rollback_restores_previous_bands(controller, base_index):
+    store = controller.store
+    index, ann = store.load_version(store.current())
+    service = RecommenderService(index, default_k=10, ann=ann, cache_capacity=64)
+    levels = sorted(int(v) for v in np.unique(index.item_price_levels))
+    lo, hi = levels[0], levels[-1]
+    sale = sorted(band_items(index, hi))[0]
+
+    controller.ingest([
+        Event(seq=0, kind="reprice", item=sale,
+              price=float(index.item_raw_prices.min())),
+    ])
+    controller.build()
+    promoted, _ = controller.promote(service=service)
+    assert promoted is not None
+    assert int(service.index.item_price_levels[sale]) == lo
+
+    # Roll the sale back: the service must again serve the item at `hi`.
+    controller.rollback("sale ended", service=service)
+    assert int(service.index.item_price_levels[sale]) == hi
+    assert sale in band_results(service, hi, len(band_items(service.index, hi)))
+    assert sale not in band_results(service, lo, len(band_items(service.index, lo)))

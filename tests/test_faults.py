@@ -5,14 +5,22 @@ scheduling contract (same plan + same call sequence → identical faults),
 the spec validation, and the archive corruption helper.
 """
 
+import os
 import pickle
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 
 from repro.faults import (
     ANN_SEARCH_ERROR,
+    FAULT_POINTS,
     FLUSHER_CRASH,
+    LIFECYCLE_BUILD_CRASH,
+    LIFECYCLE_INGEST_CRASH,
+    LIFECYCLE_PROMOTE_CRASH,
+    POINTS,
     POOL_WORKER_CRASH,
     SCORER_DELAY,
     SCORER_ERROR,
@@ -21,6 +29,7 @@ from repro.faults import (
     InjectedFault,
     chaos_plan,
     corrupt_archive,
+    describe_fault_points,
 )
 from repro.train.persistence import read_archive_arrays, write_archive
 
@@ -115,6 +124,65 @@ class TestChaosPlan:
         plan = chaos_plan(seed=1, worker_crashes=0, scorer_errors=1,
                           ann_failures=0, flusher_crashes=0)
         assert set(plan.points()) == {SCORER_ERROR}
+
+    def test_lifecycle_points_excluded_by_default(self):
+        plan = chaos_plan(seed=1)
+        assert not set(plan.points()) & {
+            LIFECYCLE_INGEST_CRASH, LIFECYCLE_BUILD_CRASH, LIFECYCLE_PROMOTE_CRASH,
+        }
+
+    def test_lifecycle_counts_create_specs(self):
+        plan = chaos_plan(
+            seed=1, worker_crashes=0, scorer_errors=0, ann_failures=0,
+            flusher_crashes=0, ingest_crashes=2, build_crashes=1, promote_crashes=1,
+        )
+        assert set(plan.points()) == {
+            LIFECYCLE_INGEST_CRASH, LIFECYCLE_BUILD_CRASH, LIFECYCLE_PROMOTE_CRASH,
+        }
+        assert len(plan.spec(LIFECYCLE_INGEST_CRASH).times) == 2
+
+
+class TestFaultPointRegistry:
+    def test_every_point_constant_is_registered(self):
+        assert POINTS == tuple(FAULT_POINTS)
+        for point in (
+            POOL_WORKER_CRASH, SCORER_ERROR, SCORER_DELAY, ANN_SEARCH_ERROR,
+            FLUSHER_CRASH, LIFECYCLE_INGEST_CRASH, LIFECYCLE_BUILD_CRASH,
+            LIFECYCLE_PROMOTE_CRASH,
+        ):
+            assert point in FAULT_POINTS
+
+    def test_descriptions_are_nonempty_one_liners(self):
+        table = describe_fault_points()
+        assert table == FAULT_POINTS and table is not FAULT_POINTS
+        for point, description in table.items():
+            assert description and "\n" not in description, point
+
+    def test_hard_kill_spec_pickles(self):
+        plan = FaultPlan(
+            [FaultSpec(LIFECYCLE_BUILD_CRASH, times=(0,), hard_kill=True)]
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.spec(LIFECYCLE_BUILD_CRASH).hard_kill
+
+    def test_hard_kill_terminates_the_process(self, tmp_path):
+        # os._exit(137) cannot be exercised in-process; prove it in a child.
+        script = (
+            "from repro.faults import FaultPlan, FaultSpec, LIFECYCLE_INGEST_CRASH\n"
+            "plan = FaultPlan([FaultSpec(LIFECYCLE_INGEST_CRASH, times=(1,),"
+            " hard_kill=True)])\n"
+            "plan.maybe_fail(LIFECYCLE_INGEST_CRASH)\n"  # occurrence 0: quiet
+            "plan.maybe_fail(LIFECYCLE_INGEST_CRASH)\n"  # occurrence 1: kill
+            "print('unreachable')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert result.returncode == 137
+        assert "unreachable" not in result.stdout
 
 
 class TestCorruptArchive:
